@@ -1,0 +1,129 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6) and times the analysis pipeline with
+   Bechamel micro-benchmarks — one benchmark per regenerated artefact.
+
+   Run with [dune exec bench/main.exe].  Pass [--quick] to restrict the
+   corpus to the open-source applications and skip verification (for
+   CI-style runs). *)
+
+module Trace = Droidracer_trace.Trace
+module Graph = Droidracer_core.Graph
+module Happens_before = Droidracer_core.Happens_before
+module Detector = Droidracer_core.Detector
+module Clock_engine = Droidracer_core.Clock_engine
+module Runtime = Droidracer_appmodel.Runtime
+module Music_player = Droidracer_corpus.Music_player
+module Catalog = Droidracer_corpus.Catalog
+module Synthetic = Droidracer_corpus.Synthetic
+module Experiments = Droidracer_report.Experiments
+module Table = Droidracer_report.Table
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* {1 Bechamel micro-benchmarks} *)
+
+let microbenchmarks (runs : Experiments.app_run list) =
+  let open Bechamel in
+  let small =
+    match runs with
+    | r :: _ -> r.Experiments.ar_result.Runtime.observed
+    | [] -> assert false
+  in
+  let medium =
+    match runs with
+    | _ :: r :: _ -> r.Experiments.ar_result.Runtime.observed
+    | [ r ] -> r.Experiments.ar_result.Runtime.observed
+    | [] -> assert false
+  in
+  let tests =
+    [ Test.make ~name:"table2: trace generation (music player, BACK)"
+        (Staged.stage (fun () ->
+           Runtime.run ~options:Music_player.options Music_player.app
+             Music_player.back_scenario))
+    ; Test.make ~name:"table3: full race detection (smallest corpus app)"
+        (Staged.stage (fun () -> Detector.analyze small))
+    ; Test.make ~name:"perf: happens-before, coalesced graph"
+        (Staged.stage (fun () ->
+           Happens_before.compute (Graph.build ~coalesce:true medium)))
+    ; Test.make ~name:"perf: happens-before, uncoalesced graph"
+        (Staged.stage (fun () ->
+           Happens_before.compute (Graph.build ~coalesce:false small)))
+    ; Test.make ~name:"engines: online vector-clock detection"
+        (Staged.stage (fun () -> Clock_engine.detect medium))
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.6) () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"droidracer" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+       let ns =
+         match Analyze.OLS.estimates est with
+         | Some (v :: _) -> v
+         | Some [] | None -> nan
+       in
+       rows := (name, ns) :: !rows)
+    results;
+  let table =
+    Table.create ~title:"Bechamel micro-benchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "time per run" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+       let cell =
+         if Float.is_nan ns then "n/a"
+         else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+         else Printf.sprintf "%.2f us" (ns /. 1e3)
+       in
+       Table.add_row table [ name; cell ])
+    (List.sort compare !rows);
+  Table.print table
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let specs = if quick then Catalog.open_source else Catalog.all in
+  section "DroidRacer reproduction: evaluation harness (PLDI 2014, Section 6)";
+  Printf.printf
+    "Corpus: %d applications%s; every table below shows paper / measured.\n"
+    (List.length specs)
+    (if quick then " (open source only: --quick)" else "");
+  section "Motivating example (Figures 1-4)";
+  Table.print (Experiments.music_player_summary ());
+  section "Figure 8: activity lifecycle";
+  Table.print (Experiments.lifecycle_table ());
+  section "Running the corpus";
+  let t0 = Sys.time () in
+  let runs = Experiments.run_catalog ~specs () in
+  Printf.printf "generated and analysed %d traces in %.1fs CPU\n"
+    (List.length runs) (Sys.time () -. t0);
+  section "Table 2";
+  Table.print (Experiments.table2 runs);
+  section "Table 3";
+  let t0 = Sys.time () in
+  Table.print (Experiments.table3 ~verify:(not quick) runs);
+  Printf.printf "\n(race verification by schedule perturbation took %.1fs CPU)\n"
+    (Sys.time () -. t0);
+  section "Performance (Section 6): coalescing and analysis cost";
+  Table.print (Experiments.performance_table runs);
+  section "Ablation: specialized happens-before relations";
+  Table.print (Experiments.baseline_table runs);
+  section "Ablation: graph engine vs vector-clock engine";
+  Table.print (Experiments.engine_table runs);
+  section "Ablation: modelling the runtime environment (enables)";
+  Table.print (Experiments.environment_model_table ());
+  section "Extension: the deferred front-of-queue rule";
+  Table.print (Experiments.front_rule_table runs);
+  section "Extension: race coverage [24]";
+  Table.print (Experiments.coverage_table runs);
+  section "Micro-benchmarks";
+  microbenchmarks runs;
+  print_newline ()

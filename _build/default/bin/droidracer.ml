@@ -1,0 +1,445 @@
+(* The droidracer command-line tool.
+
+   Subcommands:
+   - [analyze FILE]  offline race detection on a trace file
+   - [trace APP]     generate a trace from a modeled application
+   - [explore APP]   systematic UI exploration + race detection
+   - [verify APP]    detect and verify races via schedule perturbation
+   - [corpus]        regenerate Tables 2 and 3 for the paper's corpus
+   - [lifecycle]     print the Figure 8 activity lifecycle *)
+
+module Trace = Droidracer_trace.Trace
+module Trace_io = Droidracer_trace.Trace_io
+module Step = Droidracer_semantics.Step
+module Happens_before = Droidracer_core.Happens_before
+module Detector = Droidracer_core.Detector
+module Classify = Droidracer_core.Classify
+module Race = Droidracer_core.Race
+module Race_coverage = Droidracer_core.Race_coverage
+module Program = Droidracer_appmodel.Program
+module Runtime = Droidracer_appmodel.Runtime
+module Music_player = Droidracer_corpus.Music_player
+module Bug_apps = Droidracer_corpus.Bug_apps
+module Catalog = Droidracer_corpus.Catalog
+module Synthetic = Droidracer_corpus.Synthetic
+module Explorer = Droidracer_explorer.Explorer
+module Verify = Droidracer_explorer.Verify
+module Schedule_explorer = Droidracer_explorer.Schedule_explorer
+module Experiments = Droidracer_report.Experiments
+module Table = Droidracer_report.Table
+open Cmdliner
+
+(* {1 The application registry} *)
+
+type registered_app =
+  { app : Program.app
+  ; options : Runtime.options
+  ; default_events : Runtime.ui_event list
+  ; about : string
+  }
+
+let registry () =
+  let base =
+    [ ( "music-player"
+      , { app = Music_player.app
+        ; options = Music_player.options
+        ; default_events = Music_player.back_scenario
+        ; about = "the Figure 1 music player (BACK scenario by default)"
+        } )
+    ; ( "music-player-play"
+      , { app = Music_player.app
+        ; options = Music_player.options
+        ; default_events = Music_player.play_scenario
+        ; about = "the Figure 1 music player, PLAY scenario (Figure 3)"
+        } )
+    ; ( "aard-service-bug"
+      , { app = Bug_apps.Aard_dictionary.app
+        ; options = Runtime.default_options
+        ; default_events = Bug_apps.Aard_dictionary.scenario
+        ; about = "the Aard Dictionary service race (Section 6)"
+        } )
+    ; ( "messenger-cursor-bug"
+      , { app = Bug_apps.Messenger.app
+        ; options = Runtime.default_options
+        ; default_events = Bug_apps.Messenger.scenario
+        ; about = "the Messenger cursor race (Section 6)"
+        } )
+    ]
+  in
+  let synthetic spec =
+    let slug =
+      "corpus-"
+      ^ String.map
+          (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c)
+          spec.Synthetic.s_name
+    in
+    ( slug
+    , lazy
+        (let b = Synthetic.build spec in
+         { app = b.Synthetic.b_app
+         ; options = b.Synthetic.b_options
+         ; default_events = b.Synthetic.b_events
+         ; about = "synthetic model of " ^ spec.Synthetic.s_name ^ " (Table 2)"
+         }) )
+  in
+  ( List.map (fun (n, a) -> (n, lazy a)) base
+  , List.map synthetic Catalog.all )
+
+let all_app_names () =
+  let base, synth = registry () in
+  List.map fst base @ List.map fst synth
+
+let find_app name =
+  let base, synth = registry () in
+  match List.assoc_opt name (base @ synth) with
+  | Some l -> Ok (Lazy.force l)
+  | None ->
+    Error
+      (Printf.sprintf "unknown application %S; known: %s" name
+         (String.concat ", " (all_app_names ())))
+
+(* {1 Common arguments} *)
+
+let app_arg =
+  let doc = "Modeled application to run (see $(b,droidracer list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let seed_arg =
+  let doc = "Scheduling seed (deterministic round-robin when omitted)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+
+let events_arg =
+  let doc =
+    "UI events to inject, e.g. $(b,click:onPlayClick), $(b,back), \
+     $(b,intent:ACTION), $(b,rotate).  Defaults to the application's \
+     canonical scenario."
+  in
+  Arg.(value & opt_all string [] & info [ "event"; "e" ] ~docv:"EVENT" ~doc)
+
+let parse_event s =
+  match String.lowercase_ascii s with
+  | "back" -> Ok Runtime.Back
+  | "rotate" -> Ok Runtime.Rotate
+  | _ ->
+    (match String.index_opt s ':' with
+     | Some i when String.sub s 0 i = "click" ->
+       Ok (Runtime.Click (String.sub s (i + 1) (String.length s - i - 1)))
+     | Some i when String.sub s 0 i = "intent" ->
+       Ok (Runtime.Intent (String.sub s (i + 1) (String.length s - i - 1)))
+     | Some _ | None ->
+       Error
+         (Printf.sprintf
+            "cannot parse event %S (use click:NAME, intent:ACTION, back, rotate)"
+            s))
+
+let parse_events = function
+  | [] -> Ok None
+  | events ->
+    List.fold_left
+      (fun acc s ->
+         Result.bind acc (fun es ->
+           Result.map (fun e -> e :: es) (parse_event s)))
+      (Ok []) events
+    |> Result.map (fun es -> Some (List.rev es))
+
+let with_options options seed =
+  match seed with
+  | Some s -> { options with Runtime.policy = Runtime.Seeded s }
+  | None -> options
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("droidracer: " ^ msg);
+    exit 1
+
+let run_app name seed events =
+  let reg = or_die (find_app name) in
+  let events =
+    match or_die (parse_events events) with
+    | Some es -> es
+    | None -> reg.default_events
+  in
+  let options = with_options reg.options seed in
+  (reg, options, events, Runtime.run ~options reg.app events)
+
+(* {1 Subcommands} *)
+
+let list_cmd =
+  let run () =
+    let base, synth = registry () in
+    List.iter
+      (fun (name, l) ->
+         Printf.printf "%-24s %s\n" name (Lazy.force l).about)
+      base;
+    List.iter
+      (fun (name, _) -> Printf.printf "%-24s synthetic corpus model\n" name)
+      synth
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the modeled applications.")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let no_coalesce =
+    Arg.(value & flag & info [ "no-coalesce" ] ~doc:"Disable node coalescing.")
+  in
+  let no_enables =
+    Arg.(value & flag
+         & info [ "no-enables" ] ~doc:"Ignore enable operations (ablation).")
+  in
+  let show_all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Print every racy pair, not one per location.")
+  in
+  let coverage =
+    Arg.(value & flag
+         & info [ "coverage" ]
+             ~doc:"Group races by race coverage and print root races only.")
+  in
+  let run file no_coalesce no_enables show_all coverage =
+    match Trace_io.load file with
+    | Error msg -> or_die (Error msg)
+    | Ok trace ->
+      let config =
+        { Detector.coalesce = not no_coalesce
+        ; hb =
+            { Happens_before.default with enable_rule = not no_enables }
+        }
+      in
+      let report = Detector.analyze ~config trace in
+      Format.printf "%a@." Detector.pp_report report;
+      if show_all then
+        List.iter
+          (fun { Detector.race; category } ->
+             Format.printf "[%a] %a@." Classify.pp_category category Race.pp race)
+          report.Detector.all_races;
+      if coverage then begin
+        let hb = Detector.relation ~config trace in
+        let races = List.map (fun c -> c.Detector.race) report.Detector.all_races in
+        let groups = Race_coverage.group ~hb races in
+        Format.printf "race coverage: %d root(s) for %d race(s)@."
+          (List.length groups) (List.length races);
+        List.iter (fun g -> Format.printf "%a@." Race_coverage.pp_group g) groups
+      end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
+    Term.(const run $ file $ no_coalesce $ no_enables $ show_all $ coverage)
+
+let trace_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace here.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Emit the ground-truth trace (including untracked threads).")
+  in
+  let run name seed events output full =
+    let _, _, _, result = run_app name seed events in
+    let trace = if full then result.Runtime.full else result.Runtime.observed in
+    (match Step.validate result.Runtime.full with
+     | Ok _ -> ()
+     | Error v ->
+       Format.eprintf "warning: ground-truth trace violates the semantics: %a@."
+         Step.pp_violation v);
+    match output with
+    | Some path ->
+      Trace_io.save path trace;
+      Printf.printf "wrote %d operations to %s\n" (Trace.length trace) path
+    | None -> print_string (Trace_io.to_string trace)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run an application and emit its execution trace.")
+    Term.(const run $ app_arg $ seed_arg $ events_arg $ output $ full)
+
+let detect_cmd =
+  let minimize =
+    Arg.(value & flag
+         & info [ "minimize" ]
+             ~doc:
+               "For each distinct race, print a minimal sub-trace that                 still exhibits it (delta debugging).")
+  in
+  let run name seed events minimize_races =
+    let _, _, _, result = run_app name seed events in
+    let report = Detector.analyze result.Runtime.observed in
+    Format.printf "%a@." Detector.pp_report report;
+    if minimize_races then
+      List.iter
+        (fun { Detector.race; category } ->
+           let small, race' =
+             Droidracer_core.Minimize.minimize report.Detector.trace race
+           in
+           Format.printf
+             "@.minimal witness for the %a race on %a (%d of %d operations):@.%a"
+             Classify.pp_category category Droidracer_trace.Ident.Location.pp
+             (Race.location race) (Trace.length small)
+             (Trace.length report.Detector.trace) Trace.pp small;
+           Format.printf "racy accesses now at %d and %d@."
+             race'.Race.first.position race'.Race.second.position)
+        report.Detector.distinct_races
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Run an application and report the data races of its trace.")
+    Term.(const run $ app_arg $ seed_arg $ events_arg $ minimize)
+
+let explore_cmd =
+  let bound =
+    Arg.(value & opt int 2
+         & info [ "bound"; "k" ] ~doc:"Maximum UI event sequence length.")
+  in
+  let rotate =
+    Arg.(value & flag & info [ "rotate" ] ~doc:"Include screen rotation.")
+  in
+  let run name seed bound rotate =
+    let reg = or_die (find_app name) in
+    let options = with_options reg.options seed in
+    let exploration =
+      Explorer.explore ~options ~bound ~include_rotate:rotate reg.app
+    in
+    Printf.printf "explored %d event sequences (bound %d)%s\n"
+      (List.length exploration.Explorer.cases)
+      bound
+      (if exploration.Explorer.truncated then " [truncated]" else "");
+    let racy = Explorer.racy_cases exploration in
+    Printf.printf "%d sequences manifest races:\n" (List.length racy);
+    List.iter
+      (fun (case, report) ->
+         Format.printf "  [%a]: %d races (%s)@."
+           (Format.pp_print_list
+              ~pp_sep:(fun f () -> Format.fprintf f "; ")
+              Runtime.pp_ui_event)
+           case.Explorer.events
+           (List.length report.Detector.all_races)
+           (String.concat ", "
+              (List.filter_map
+                 (fun (c, n) ->
+                    if n > 0 then
+                      Some (Printf.sprintf "%s %d" (Classify.category_name c) n)
+                    else None)
+                 (Detector.count_by_category report.Detector.distinct_races))))
+      racy
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Systematically explore UI event sequences and detect races.")
+    Term.(const run $ app_arg $ seed_arg $ bound $ rotate)
+
+let verify_cmd =
+  let attempts =
+    Arg.(value & opt int 12 & info [ "attempts" ] ~doc:"Perturbed runs per race.")
+  in
+  let exhaustive =
+    Arg.(value & flag
+         & info [ "exhaustive" ]
+             ~doc:
+               "Enumerate the schedule tree (bounded by $(b,--attempts) x \
+                100 replays) instead of sampling; gives a definite verdict \
+                on small applications.")
+  in
+  let run name seed events attempts exhaustive =
+    let reg, options, events, result = run_app name seed events in
+    let report = Detector.analyze result.Runtime.observed in
+    if report.Detector.all_races = [] then print_endline "no races detected"
+    else
+      List.iter
+        (fun { Detector.race; category } ->
+           let verdict =
+             if exhaustive then
+               match
+                 Schedule_explorer.verify_exhaustively
+                   ~max_runs:(attempts * 100) ~options ~app:reg.app ~events
+                   ~trace:report.Detector.trace
+                   ~thread_names:result.Runtime.thread_names race
+               with
+               | Schedule_explorer.Flipped _ ->
+                 "TRUE POSITIVE (a schedule reorders the accesses)"
+               | Schedule_explorer.Never_flips n ->
+                 Printf.sprintf "FALSE POSITIVE (all %d schedules keep the order)"
+                   n
+               | Schedule_explorer.Budget_exhausted n ->
+                 Printf.sprintf "presumed false positive (%d schedules explored)"
+                   n
+             else
+               match
+                 Verify.verify ~attempts ~options ~app:reg.app ~events
+                   ~trace:report.Detector.trace
+                   ~thread_names:result.Runtime.thread_names race
+               with
+               | Verify.Confirmed w ->
+                 Printf.sprintf "TRUE POSITIVE (flipped with seed %d)"
+                   w.Verify.w_seed
+               | Verify.Not_flipped n ->
+                 Printf.sprintf "presumed false positive (%d perturbed runs)" n
+           in
+           Format.printf "[%a] %a@.  -> %s@." Classify.pp_category category
+             Race.pp race verdict)
+        report.Detector.all_races
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Detect races, then validate each by searching for an alternate \
+          ordering of the racy accesses.")
+    Term.(const run $ app_arg $ seed_arg $ events_arg $ attempts $ exhaustive)
+
+let corpus_cmd =
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Verify open-source races by schedule perturbation (slower).")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "app" ] ~docv:"NAME" ~doc:"Restrict to one application.")
+  in
+  let run verify only =
+    let specs =
+      match only with
+      | None -> Catalog.all
+      | Some name ->
+        (match Catalog.find name with
+         | Some s -> [ s ]
+         | None -> or_die (Error (Printf.sprintf "unknown corpus app %S" name)))
+    in
+    let runs = Experiments.run_catalog ~specs () in
+    Table.print (Experiments.table2 runs);
+    print_newline ();
+    Table.print (Experiments.table3 ~verify runs);
+    print_newline ();
+    Table.print (Experiments.performance_table runs)
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Regenerate Tables 2 and 3 over the paper's application corpus.")
+    Term.(const run $ verify $ only)
+
+let lifecycle_cmd =
+  let run () = Table.print (Experiments.lifecycle_table ()) in
+  Cmd.v
+    (Cmd.info "lifecycle" ~doc:"Print the Figure 8 activity lifecycle machine.")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "dynamic data-race detection for the Android concurrency model \
+     (reproduction of Maiya, Kanade & Majumdar, PLDI 2014)"
+  in
+  let info = Cmd.info "droidracer" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd
+          ; analyze_cmd
+          ; trace_cmd
+          ; detect_cmd
+          ; explore_cmd
+          ; verify_cmd
+          ; corpus_cmd
+          ; lifecycle_cmd
+          ]))

@@ -1,0 +1,1 @@
+examples/explorer_demo.mli:

@@ -1,0 +1,1 @@
+lib/android/async_task.ml: Format Printf

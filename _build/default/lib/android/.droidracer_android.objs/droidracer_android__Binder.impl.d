@@ -1,0 +1,1 @@
+lib/android/binder.ml: Array Ident Import

@@ -1,0 +1,1 @@
+lib/android/binder.mli: Ident Import

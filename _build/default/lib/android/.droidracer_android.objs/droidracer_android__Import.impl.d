@@ -1,0 +1,1 @@
+lib/android/import.ml: Droidracer_trace

@@ -1,0 +1,17 @@
+open! Import
+
+type t =
+  { pool : Ident.Thread_id.t array
+  ; next_index : int
+  }
+
+let create ~size ~first_tid =
+  if size < 1 then invalid_arg "Binder.create: empty pool";
+  { pool = Array.init size (fun i -> Ident.Thread_id.make (first_tid + i))
+  ; next_index = 0
+  }
+
+let threads t = Array.to_list t.pool
+
+let next t =
+  (t.pool.(t.next_index), { t with next_index = (t.next_index + 1) mod Array.length t.pool })

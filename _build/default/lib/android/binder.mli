@@ -1,0 +1,24 @@
+open! Import
+
+(** The binder thread pool.
+
+    Lifecycle work scheduled by ActivityManagerService reaches the
+    application as asynchronous posts performed by one of the process's
+    binder threads (Section 2.2).  Successive transactions may be served
+    by {e different} pool threads, so two lifecycle posts are not
+    program-ordered — which is exactly why the runtime model needs
+    [enable] operations to recover their causality. *)
+
+type t
+
+val create : size:int -> first_tid:int -> t
+(** A pool of [size] binder threads with consecutive thread ids starting
+    at [first_tid].
+    @raise Invalid_argument if [size < 1]. *)
+
+val threads : t -> Ident.Thread_id.t list
+
+val next : t -> Ident.Thread_id.t * t
+(** The binder thread serving the next transaction (round-robin, so
+    consecutive transactions land on different threads whenever the pool
+    has more than one). *)

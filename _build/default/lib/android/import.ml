@@ -1,0 +1,5 @@
+(* Aliases for the modules of the trace library; opened by every file of
+   this library. *)
+module Ident = Droidracer_trace.Ident
+module Operation = Droidracer_trace.Operation
+module Trace = Droidracer_trace.Trace

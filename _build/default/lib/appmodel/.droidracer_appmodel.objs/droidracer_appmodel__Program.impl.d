@@ -1,0 +1,1 @@
+lib/appmodel/program.ml: Format Ident Import List Option Result String

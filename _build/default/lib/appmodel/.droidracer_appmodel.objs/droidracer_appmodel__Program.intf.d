@@ -1,0 +1,1 @@
+lib/appmodel/program.mli: Ident Import

@@ -1,0 +1,1 @@
+lib/appmodel/runtime.ml: Async_task Binder Format Hashtbl Ident Import Lazy Lifecycle List Operation Option Printf Program Queue Queue_model Random State Step String Trace

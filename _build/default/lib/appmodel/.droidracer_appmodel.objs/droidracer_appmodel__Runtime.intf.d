@@ -1,0 +1,1 @@
+lib/appmodel/runtime.mli: Format Ident Import Program Trace

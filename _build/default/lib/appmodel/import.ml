@@ -1,0 +1,11 @@
+(* Aliases for the modules of the lower libraries; opened by every file
+   of this library. *)
+module Ident = Droidracer_trace.Ident
+module Operation = Droidracer_trace.Operation
+module Trace = Droidracer_trace.Trace
+module State = Droidracer_semantics.State
+module Step = Droidracer_semantics.Step
+module Queue_model = Droidracer_semantics.Queue_model
+module Lifecycle = Droidracer_android.Lifecycle
+module Async_task = Droidracer_android.Async_task
+module Binder = Droidracer_android.Binder

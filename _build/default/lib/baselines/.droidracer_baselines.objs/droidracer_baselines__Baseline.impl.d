@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Graph Happens_before Import List Race Trace

@@ -1,0 +1,1 @@
+lib/baselines/import.ml: Droidracer_core Droidracer_trace

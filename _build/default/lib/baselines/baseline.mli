@@ -1,0 +1,50 @@
+open! Import
+
+(** Baseline happens-before detectors.
+
+    The paper positions its relation against two independently studied
+    families (Sections 1, 4.1 "Specializations", 7): race detectors for
+    multi-threaded programs, which ignore asynchronous dispatch, and
+    race detectors for single-threaded event-driven programs, which
+    ignore thread interleavings — plus the naïve combination of the two
+    rule sets, whose lock treatment manufactures spurious same-thread
+    orderings.  Each baseline is a configuration of the same engine, so
+    the ablation benchmarks compare like with like. *)
+
+type t =
+  | Droidracer  (** the paper's relation (reference point) *)
+  | Multithreaded_only
+      (** classic per-thread program order + fork/join/lock; a task
+          queue is treated like ordinary thread code and a post like a
+          fork (the "asynchronous calls simulated through additional
+          threads" reading).  Misses single-threaded races. *)
+  | Event_driven_only
+      (** the single-threaded event rules (program order, enable, post,
+          FIFO, NOPRE) without fork/join/lock reasoning.  Reports false
+          positives whenever threads synchronise. *)
+  | Naive_combined
+      (** every rule of both families with unrestricted transitivity and
+          same-thread lock edges: the combination Section 1 warns
+          against.  Derives spurious orderings and so misses races. *)
+
+val all : t list
+
+val name : t -> string
+
+val config : t -> Happens_before.config
+
+val detect : t -> Trace.t -> Race.t list
+(** Races reported by the baseline on the (cancellation-filtered)
+    trace. *)
+
+type comparison =
+  { baseline : t
+  ; reported : int
+  ; missed : int  (** races DroidRacer reports that the baseline lacks *)
+  ; extra : int  (** races the baseline reports beyond DroidRacer's *)
+  }
+
+val compare_against_droidracer : Trace.t -> comparison list
+(** One entry per non-reference baseline.  "Missed" races are the
+    baseline's false negatives and "extra" its additional reports,
+    taking the paper's relation as ground truth. *)

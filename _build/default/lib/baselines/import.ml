@@ -1,0 +1,9 @@
+(* Aliases for the modules of the lower libraries; opened by every file
+   of this library. *)
+module Ident = Droidracer_trace.Ident
+module Operation = Droidracer_trace.Operation
+module Trace = Droidracer_trace.Trace
+module Graph = Droidracer_core.Graph
+module Happens_before = Droidracer_core.Happens_before
+module Race = Droidracer_core.Race
+module Detector = Droidracer_core.Detector

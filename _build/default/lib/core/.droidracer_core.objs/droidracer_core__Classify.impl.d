@@ -1,0 +1,1 @@
+lib/core/classify.ml: Format Ident Import List Operation Option Race Trace

@@ -1,0 +1,1 @@
+lib/core/clock_engine.ml: Hashtbl Ident Import Int List Operation Race Trace Vector_clock

@@ -1,0 +1,1 @@
+lib/core/clock_engine.mli: Import Race Trace

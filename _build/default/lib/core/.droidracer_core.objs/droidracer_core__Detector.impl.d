@@ -1,0 +1,1 @@
+lib/core/detector.ml: Classify Format Graph Happens_before Hashtbl Ident Import List Race Sys Trace

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Classify Format Happens_before Import Race Trace

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Hashtbl Ident Import List Operation Option Printf Trace

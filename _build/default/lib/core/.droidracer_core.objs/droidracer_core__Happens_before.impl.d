@@ -1,0 +1,1 @@
+lib/core/happens_before.ml: Array Bit_matrix Graph Hashtbl Ident Import List Operation Option Trace

@@ -1,0 +1,1 @@
+lib/core/happens_before.mli: Graph Import

@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Fun Graph Happens_before Hashtbl Ident Import List Operation Race Trace

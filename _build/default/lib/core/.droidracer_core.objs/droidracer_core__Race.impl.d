@@ -1,0 +1,1 @@
+lib/core/race.ml: Format Hashtbl Ident Import Int List Operation Trace

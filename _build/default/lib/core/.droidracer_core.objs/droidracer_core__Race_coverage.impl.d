@@ -1,0 +1,1 @@
+lib/core/race_coverage.ml: Format Happens_before Import List Race

@@ -1,0 +1,1 @@
+lib/core/race_coverage.mli: Format Happens_before Import Race

@@ -1,0 +1,1 @@
+lib/core/reference_hb.ml: Array Ident Import Operation Option Trace

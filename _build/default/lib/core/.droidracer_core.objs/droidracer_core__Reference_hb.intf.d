@@ -1,0 +1,1 @@
+lib/core/reference_hb.mli: Import Trace

@@ -1,0 +1,104 @@
+let bits_per_word = 63
+
+type t =
+  { n : int
+  ; words : int  (** words per row *)
+  ; rows : int array array
+  }
+
+let create n =
+  if n < 0 then invalid_arg "Bit_matrix.create: negative size";
+  let words = (n + bits_per_word - 1) / bits_per_word in
+  { n; words = max words 1; rows = Array.init n (fun _ -> Array.make (max words 1) 0) }
+
+let size m = m.n
+
+let check m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then
+    invalid_arg (Printf.sprintf "Bit_matrix: index (%d,%d) out of bounds" i j)
+
+let get m i j =
+  check m i j;
+  let row = m.rows.(i) in
+  row.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+
+let set m i j =
+  check m i j;
+  let row = m.rows.(i) in
+  let w = j / bits_per_word in
+  row.(w) <- row.(w) lor (1 lsl (j mod bits_per_word))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let count m =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc w -> acc + popcount w) acc row)
+    0 m.rows
+
+let or_row m ~dst ~src =
+  let d = m.rows.(dst) and s = m.rows.(src) in
+  let changed = ref false in
+  for w = 0 to m.words - 1 do
+    let v = d.(w) lor s.(w) in
+    if v <> d.(w) then begin
+      d.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+module Mask = struct
+  type t = { words : int array }
+
+  let create n =
+    let words = max ((n + bits_per_word - 1) / bits_per_word) 1 in
+    { words = Array.make words 0 }
+
+  let set t j =
+    let w = j / bits_per_word in
+    t.words.(w) <- t.words.(w) lor (1 lsl (j mod bits_per_word))
+
+  let mem t j =
+    t.words.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+end
+
+let or_row_masked m ~dst ~src ~mask =
+  let d = m.rows.(dst) and s = m.rows.(src) in
+  let mw = mask.Mask.words in
+  let changed = ref false in
+  for w = 0 to m.words - 1 do
+    let v = d.(w) lor (s.(w) land mw.(w)) in
+    if v <> d.(w) then begin
+      d.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let or_row_masked_compl m ~dst ~src ~mask =
+  let d = m.rows.(dst) and s = m.rows.(src) in
+  let mw = mask.Mask.words in
+  let changed = ref false in
+  for w = 0 to m.words - 1 do
+    let v = d.(w) lor (s.(w) land lnot mw.(w)) in
+    if v <> d.(w) then begin
+      d.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let iter_row m i f =
+  let row = m.rows.(i) in
+  for w = 0 to m.words - 1 do
+    let word = ref row.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      let j = (w * bits_per_word) + log2 bit 0 in
+      if j < m.n then f j;
+      word := !word land lnot bit
+    done
+  done

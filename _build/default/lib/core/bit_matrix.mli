@@ -1,0 +1,44 @@
+(** Square boolean matrices with bitset rows.
+
+    The happens-before computation stores the relation ⪯ as an n×n
+    matrix and spends its time OR-ing rows into each other, so rows are
+    packed 63 bits per word.  Masked ORs implement the thread-sensitive
+    transitivity restriction (Section 4.1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the n×n all-false matrix. *)
+
+val size : t -> int
+
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> unit
+
+val count : t -> int
+(** Number of true entries. *)
+
+val or_row : t -> dst:int -> src:int -> bool
+(** [or_row m ~dst ~src] ORs row [src] into row [dst]; true iff row
+    [dst] changed. *)
+
+(** Bit masks over column indices. *)
+module Mask : sig
+  type t
+
+  val create : int -> t
+
+  val set : t -> int -> unit
+
+  val mem : t -> int -> bool
+end
+
+val or_row_masked : t -> dst:int -> src:int -> mask:Mask.t -> bool
+(** ORs [src ∧ mask] into [dst]; true iff [dst] changed. *)
+
+val or_row_masked_compl : t -> dst:int -> src:int -> mask:Mask.t -> bool
+(** ORs [src ∧ ¬mask] into [dst]; true iff [dst] changed. *)
+
+val iter_row : t -> int -> (int -> unit) -> unit
+(** Calls the function on every set column of the row, ascending. *)

@@ -1,0 +1,106 @@
+open! Import
+module Thread_id = Ident.Thread_id
+
+type category =
+  | Multithreaded
+  | Co_enabled
+  | Delayed_race
+  | Cross_posted
+  | Unknown
+
+let category_equal a b =
+  match a, b with
+  | Multithreaded, Multithreaded
+  | Co_enabled, Co_enabled
+  | Delayed_race, Delayed_race
+  | Cross_posted, Cross_posted
+  | Unknown, Unknown -> true
+  | (Multithreaded | Co_enabled | Delayed_race | Cross_posted | Unknown), _ ->
+    false
+
+let category_name = function
+  | Multithreaded -> "multithreaded"
+  | Co_enabled -> "co-enabled"
+  | Delayed_race -> "delayed"
+  | Cross_posted -> "cross-posted"
+  | Unknown -> "unknown"
+
+let pp_category ppf c = Format.pp_print_string ppf (category_name c)
+
+let rec chain trace i =
+  match Trace.enclosing_task trace i with
+  | None -> []
+  | Some p ->
+    (match Trace.post_index trace p with
+     | None -> []  (* structurally impossible in a well-formed trace *)
+     | Some post_pos -> chain trace post_pos @ [ post_pos ])
+
+(* The task a post operation posts; [chain] guarantees the position
+   holds a post. *)
+let posted_task trace pos =
+  match Trace.op trace pos with
+  | Operation.Post { task; _ } -> Some task
+  | _ -> None
+
+let is_event_post trace pos =
+  match posted_task trace pos with
+  | Some p -> Option.is_some (Trace.enable_index trace p)
+  | None -> false
+
+let is_delayed_post trace pos =
+  match posted_task trace pos with
+  | Some p ->
+    (match Trace.post_flavour trace p with
+     | Some (Operation.Delayed _) -> true
+     | Some (Operation.Immediate | Operation.Front) | None -> false)
+  | None -> false
+
+let last_matching pred positions =
+  List.fold_left (fun acc pos -> if pred pos then Some pos else acc) None
+    positions
+
+let classify trace ~hb_or_eq (race : Race.t) =
+  if Race.is_multithreaded race then Multithreaded
+  else begin
+    let chain_i = chain trace race.first.position
+    and chain_j = chain trace race.second.position in
+    let co_enabled =
+      match
+        ( last_matching (is_event_post trace) chain_i
+        , last_matching (is_event_post trace) chain_j )
+      with
+      | Some bi, Some bj -> not (hb_or_eq bi bj)
+      | (Some _ | None), _ -> false
+    in
+    if co_enabled then Co_enabled
+    else begin
+      let delayed =
+        match
+          ( last_matching (is_delayed_post trace) chain_i
+          , last_matching (is_delayed_post trace) chain_j )
+        with
+        | Some bi, Some bj -> bi <> bj
+        | Some _, None | None, Some _ -> true
+        | None, None -> false
+      in
+      if delayed then Delayed_race
+      else begin
+        let cross_post_of access_thread positions =
+          last_matching
+            (fun pos ->
+               not (Thread_id.equal (Trace.thread trace pos) access_thread))
+            positions
+        in
+        let cross =
+          match
+            ( cross_post_of race.first.thread chain_i
+            , cross_post_of race.second.thread chain_j )
+          with
+          | Some bi, Some bj -> bi <> bj
+          | Some _, None | None, Some _ -> true
+          | None, None -> false
+        in
+        if cross then Cross_posted else Unknown
+      end
+    end
+  end

@@ -1,0 +1,43 @@
+open! Import
+
+(** Classification of data races (Section 4.3).
+
+    To help debugging, races are categorised by analysing the chain of
+    posts that led to each racey access.  [chain αᵢ] is the maximal
+    sequence of post operations ⟨β₁ … βₘ⟩ with callee(βⱼ) = task(βⱼ₊₁)
+    and callee(βₘ) = task(αᵢ): the outermost post is the one performed
+    outside any asynchronous task.
+
+    A race between operations of different threads is {e multi-threaded};
+    single-threaded races are checked against the co-enabled, delayed and
+    cross-posted criteria in that order (the order the paper presents
+    them), and fall back to {e unknown}. *)
+
+type category =
+  | Multithreaded
+  | Co_enabled
+      (** the most recent environment-event posts of the two chains are
+          unordered: the two triggering events can happen in parallel *)
+  | Delayed_race
+      (** the chains disagree on their most recent delayed posts: the
+          race hinges on timing constraints *)
+  | Cross_posted
+      (** the chains disagree on their most recent posts performed on a
+          thread other than the racing thread *)
+  | Unknown
+
+val category_equal : category -> category -> bool
+
+val pp_category : Format.formatter -> category -> unit
+
+val category_name : category -> string
+
+val chain : Trace.t -> int -> int list
+(** [chain trace i] is the paper's chain(αᵢ) as trace positions of post
+    operations, outermost first.  Empty when position [i] is not inside
+    an asynchronous task. *)
+
+val classify :
+  Trace.t -> hb_or_eq:(int -> int -> bool) -> Race.t -> category
+(** [hb_or_eq] must be the reflexive happens-before oracle used for
+    detection. *)

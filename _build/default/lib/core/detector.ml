@@ -1,0 +1,113 @@
+open! Import
+
+type config =
+  { coalesce : bool
+  ; hb : Happens_before.config
+  }
+
+let default_config = { coalesce = true; hb = Happens_before.default }
+
+let no_environment_model =
+  { coalesce = true
+  ; hb = { Happens_before.default with enable_rule = false }
+  }
+
+type classified_race =
+  { race : Race.t
+  ; category : Classify.category
+  }
+
+type report =
+  { trace : Trace.t
+  ; all_races : classified_race list
+  ; distinct_races : classified_race list
+  ; trace_stats : Trace.stats
+  ; nodes : int
+  ; uncoalesced_nodes : int
+  ; hb_edges : int
+  ; fixpoint_passes : int
+  ; elapsed_seconds : float
+  }
+
+let relation ?(config = default_config) trace =
+  let trace = Trace.remove_cancelled trace in
+  let graph = Graph.build ~coalesce:config.coalesce trace in
+  Happens_before.compute ~config:config.hb graph
+
+let dedup_distinct classified =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun { race; category } ->
+       let key =
+         ( Ident.Location.to_string (Race.location race)
+         , Classify.category_name category )
+       in
+       if Hashtbl.mem seen key then false
+       else begin
+         Hashtbl.add seen key ();
+         true
+       end)
+    classified
+
+let analyze ?(config = default_config) trace =
+  let started = Sys.time () in
+  let trace = Trace.remove_cancelled trace in
+  let graph = Graph.build ~coalesce:config.coalesce trace in
+  let hb = Happens_before.compute ~config:config.hb graph in
+  let races = Race.detect trace ~hb:(Happens_before.hb hb) in
+  let all_races =
+    List.map
+      (fun race ->
+         { race
+         ; category =
+             Classify.classify trace
+               ~hb_or_eq:(Happens_before.hb_or_eq hb)
+               race
+         })
+      races
+  in
+  { trace
+  ; all_races
+  ; distinct_races = dedup_distinct all_races
+  ; trace_stats = Trace.stats trace
+  ; nodes = Happens_before.node_count hb
+  ; uncoalesced_nodes = Trace.length trace
+  ; hb_edges = Happens_before.edge_count hb
+  ; fixpoint_passes = Happens_before.passes hb
+  ; elapsed_seconds = Sys.time () -. started
+  }
+
+let category_order =
+  [ Classify.Multithreaded
+  ; Classify.Cross_posted
+  ; Classify.Co_enabled
+  ; Classify.Delayed_race
+  ; Classify.Unknown
+  ]
+
+let count_by_category classified =
+  List.map
+    (fun cat ->
+       ( cat
+       , List.length
+           (List.filter (fun c -> Classify.category_equal c.category cat)
+              classified) ))
+    category_order
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>trace: %a@," Trace.pp_stats r.trace_stats;
+  Format.fprintf ppf "graph: %d nodes (%d uncoalesced), %d hb pairs, %d passes@,"
+    r.nodes r.uncoalesced_nodes r.hb_edges r.fixpoint_passes;
+  Format.fprintf ppf "races: %d reported, %d distinct@," (List.length r.all_races)
+    (List.length r.distinct_races);
+  List.iter
+    (fun (cat, n) ->
+       if n > 0 then
+         Format.fprintf ppf "  %a: %d@," Classify.pp_category cat n)
+    (count_by_category r.distinct_races);
+  List.iter
+    (fun { race; category } ->
+       Format.fprintf ppf "  [%a] %a@," Classify.pp_category category Race.pp
+         race)
+    r.distinct_races;
+  Format.fprintf ppf "analysis time: %.3fs@]" r.elapsed_seconds

@@ -1,0 +1,59 @@
+open! Import
+
+(** The Race Detector (Section 5): trace in, classified races out.
+
+    [analyze] removes cancelled posts (Section 4.2), builds the
+    (optionally coalesced) trace graph, computes the happens-before
+    relation, reports every pair of conflicting unordered accesses, and
+    classifies each race.  The configuration switches drive the
+    ablation experiments; defaults reproduce the paper's tool.
+
+    The online vector-clock engine lives in {!Clock_engine}; it trades
+    the precision of the graph relation for a single forward pass and is
+    compared against this detector by the benchmarks. *)
+
+type config =
+  { coalesce : bool  (** merge contiguous access runs (Section 6) *)
+  ; hb : Happens_before.config
+  }
+
+val default_config : config
+
+val no_environment_model : config
+(** The paper's tool without [enable] modelling: demonstrates the false
+    positives that the environment model eliminates (Section 2.4,
+    "Modeling the runtime environment"). *)
+
+type classified_race =
+  { race : Race.t
+  ; category : Classify.category
+  }
+
+type report =
+  { trace : Trace.t
+      (** the analysed trace (cancelled posts removed); race positions
+          refer to it *)
+  ; all_races : classified_race list
+      (** every conflicting unordered pair *)
+  ; distinct_races : classified_race list
+      (** one representative per memory location and category — the
+          counts Table 3 reports *)
+  ; trace_stats : Trace.stats
+  ; nodes : int  (** graph nodes after coalescing *)
+  ; uncoalesced_nodes : int  (** = trace length *)
+  ; hb_edges : int
+  ; fixpoint_passes : int
+  ; elapsed_seconds : float
+  }
+
+val analyze : ?config:config -> Trace.t -> report
+
+val relation : ?config:config -> Trace.t -> Happens_before.t
+(** Just the happens-before relation of the (cancellation-filtered)
+    trace, for callers that want to query orderings directly. *)
+
+val count_by_category : classified_race list -> (Classify.category * int) list
+(** Counts per category, in the fixed order multithreaded, cross-posted,
+    co-enabled, delayed, unknown (the column order of Table 3). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,140 @@
+open! Import
+module Thread_id = Ident.Thread_id
+module Task_id = Ident.Task_id
+
+type node_kind =
+  | Anchor of int
+  | Access_block of int list
+
+type node =
+  { kind : node_kind
+  ; node_thread : Thread_id.t
+  ; node_task : Task_id.t option
+  ; first : int
+  ; last : int
+  }
+
+type t =
+  { trace : Trace.t
+  ; nodes : node array
+  ; node_of_pos : int array
+  ; by_thread : int list Thread_id.Map.t  (** ascending *)
+  ; by_task : int list Task_id.Map.t  (** ascending *)
+  ; thread_indices : int Thread_id.Map.t
+  }
+
+let is_coalescible op =
+  match (op : Operation.t) with
+  | Read _ | Write _ -> true
+  | Thread_init | Thread_exit | Fork _ | Join _ | Attach_queue | Loop_on_queue
+  | Post _ | Begin_task _ | End_task _ | Acquire _ | Release _ | Enable _
+  | Cancel _ -> false
+
+let build ~coalesce trace =
+  let n = Trace.length trace in
+  let node_of_pos = Array.make n (-1) in
+  let nodes = ref [] in
+  let count = ref 0 in
+  (* Last open access block per thread: (node id, positions rev, task). *)
+  let open_blocks : (int, int * int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let close_block tid = Hashtbl.remove open_blocks (Thread_id.to_int tid) in
+  let add_node kind tid task first last =
+    let id = !count in
+    incr count;
+    nodes := { kind; node_thread = tid; node_task = task; first; last } :: !nodes;
+    id
+  in
+  for i = 0 to n - 1 do
+    let { Trace.thread = tid; op } = Trace.get trace i in
+    let task = Trace.enclosing_task trace i in
+    if coalesce && is_coalescible op then begin
+      match Hashtbl.find_opt open_blocks (Thread_id.to_int tid) with
+      | Some (id, positions) ->
+        positions := i :: !positions;
+        node_of_pos.(i) <- id
+      | None ->
+        let positions = ref [ i ] in
+        let id = add_node (Access_block []) tid task i i in
+        Hashtbl.add open_blocks (Thread_id.to_int tid) (id, positions);
+        node_of_pos.(i) <- id
+    end
+    else begin
+      close_block tid;
+      let kind = if is_coalescible op then Access_block [ i ] else Anchor i in
+      let id = add_node kind tid task i i in
+      node_of_pos.(i) <- id
+    end
+  done;
+  let nodes = Array.of_list (List.rev !nodes) in
+  (* Patch the positions and extents of coalesced blocks. *)
+  let positions_of = Array.make (Array.length nodes) [] in
+  Array.iteri (fun i id -> positions_of.(id) <- i :: positions_of.(id)) node_of_pos;
+  Array.iteri
+    (fun id node ->
+       let positions = List.rev positions_of.(id) in
+       match positions with
+       | [] -> ()
+       | first :: _ ->
+         let last = List.fold_left (fun _ p -> p) first positions in
+         nodes.(id) <-
+           (match node.kind with
+            | Anchor _ -> { node with first; last }
+            | Access_block _ ->
+              { node with kind = Access_block positions; first; last }))
+    nodes;
+  let by_thread = ref Thread_id.Map.empty in
+  let by_task = ref Task_id.Map.empty in
+  Array.iteri
+    (fun id node ->
+       by_thread :=
+         Thread_id.Map.update node.node_thread
+           (fun l -> Some (id :: Option.value l ~default:[]))
+           !by_thread;
+       match node.node_task with
+       | Some p ->
+         by_task :=
+           Task_id.Map.update p
+             (fun l -> Some (id :: Option.value l ~default:[]))
+             !by_task
+       | None -> ())
+    nodes;
+  let thread_indices =
+    List.fold_left
+      (fun (i, acc) tid -> (i + 1, Thread_id.Map.add tid i acc))
+      (0, Thread_id.Map.empty) (Trace.threads trace)
+    |> snd
+  in
+  { trace
+  ; nodes
+  ; node_of_pos
+  ; by_thread = Thread_id.Map.map List.rev !by_thread
+  ; by_task = Task_id.Map.map List.rev !by_task
+  ; thread_indices
+  }
+
+let trace t = t.trace
+let node_count t = Array.length t.nodes
+let kind t id = t.nodes.(id).kind
+
+let node_of_pos t pos =
+  if pos < 0 || pos >= Array.length t.node_of_pos then
+    invalid_arg (Printf.sprintf "Graph.node_of_pos: position %d out of bounds" pos);
+  t.node_of_pos.(pos)
+
+let thread_of_node t id = t.nodes.(id).node_thread
+let task_of_node t id = t.nodes.(id).node_task
+let first_pos t id = t.nodes.(id).first
+let last_pos t id = t.nodes.(id).last
+
+let nodes_of_thread t tid =
+  Option.value (Thread_id.Map.find_opt tid t.by_thread) ~default:[]
+
+let nodes_of_task t p =
+  Option.value (Task_id.Map.find_opt p t.by_task) ~default:[]
+
+let thread_index t tid =
+  match Thread_id.Map.find_opt tid t.thread_indices with
+  | Some i -> i
+  | None -> invalid_arg "Graph.thread_index: unknown thread"
+
+let thread_count t = Thread_id.Map.cardinal t.thread_indices

@@ -1,0 +1,349 @@
+open! Import
+module Thread_id = Ident.Thread_id
+module Task_id = Ident.Task_id
+module Lock_id = Ident.Lock_id
+
+type program_order = Android_po | Full_po
+
+type config =
+  { program_order : program_order
+  ; enable_rule : bool
+  ; post_rule : bool
+  ; attach_rule : bool
+  ; fifo_rule : bool
+  ; nopre_rule : bool
+  ; fork_join_rules : bool
+  ; lock_rule : bool
+  ; lock_same_thread : bool
+  ; front_rule : bool
+  ; restricted_transitivity : bool
+  }
+
+let default =
+  { program_order = Android_po
+  ; enable_rule = true
+  ; post_rule = true
+  ; attach_rule = true
+  ; fifo_rule = true
+  ; nopre_rule = true
+  ; fork_join_rules = true
+  ; lock_rule = true
+  ; lock_same_thread = false
+  ; front_rule = false
+  ; restricted_transitivity = true
+  }
+
+(* Per-task data consumed by the FIFO and NOPRE rules. *)
+type task_entry =
+  { task : Task_id.t
+  ; post_node : int
+  ; begin_info : (int * int) option  (** node, trace position *)
+  ; end_info : (int * int) option
+  ; flavour : Operation.post_flavour
+  ; task_nodes : int list
+  }
+
+type t =
+  { graph : Graph.t
+  ; cfg : config
+  ; matrix : Bit_matrix.t
+  ; fixpoint_passes : int
+  }
+
+let graph t = t.graph
+let config t = t.cfg
+
+(* The FIFO rule with the delayed-post refinement of Section 4.2: an
+   edge needs the posts ordered by ⪯ and compatible flavours.  The
+   happens-before treatment of front-of-queue posts is deferred by the
+   paper, so they never produce FIFO edges. *)
+let fifo_flavours_ok f1 f2 =
+  match (f1 : Operation.post_flavour), (f2 : Operation.post_flavour) with
+  | Immediate, (Immediate | Delayed _) -> true
+  | Delayed d1, Delayed d2 -> d1 <= d2
+  | Delayed _, Immediate -> false
+  | Front, (Immediate | Delayed _ | Front) -> false
+  | (Immediate | Delayed _), Front -> false
+
+let compute ?(config = default) g =
+  let cfg = config in
+  let trace = Graph.trace g in
+  let n = Graph.node_count g in
+  let m = Bit_matrix.create n in
+  (* Masks: for each thread, the set of its nodes. *)
+  let thread_masks =
+    Array.init (Graph.thread_count g) (fun _ -> Bit_matrix.Mask.create n)
+  in
+  for id = 0 to n - 1 do
+    let ti = Graph.thread_index g (Graph.thread_of_node g id) in
+    Bit_matrix.Mask.set thread_masks.(ti) id
+  done;
+  let node_of_pos = Graph.node_of_pos g in
+  let add_edge_nodes src dst = if src <> dst then Bit_matrix.set m src dst in
+  (* Base edge between trace positions, guarded by trace order (every
+     rule of Figures 6 and 7 assumes i < j). *)
+  let add_edge i j = if i < j then add_edge_nodes (node_of_pos i) (node_of_pos j) in
+  (* Program order. *)
+  List.iter
+    (fun tid ->
+       let nodes = Graph.nodes_of_thread g tid in
+       let loop_pos = Trace.loop_index trace tid in
+       let chain_ok a b =
+         match cfg.program_order with
+         | Full_po -> true
+         | Android_po ->
+           (match loop_pos with
+            | None -> true
+            | Some lp ->
+              Graph.last_pos g a <= lp
+              ||
+              (match Graph.task_of_node g a, Graph.task_of_node g b with
+               | Some p, Some q -> Task_id.equal p q
+               | Some _, None | None, Some _ | None, None -> false))
+       in
+       let rec chain = function
+         | a :: (b :: _ as rest) ->
+           if chain_ok a b then add_edge_nodes a b;
+           chain rest
+         | [ _ ] | [] -> ()
+       in
+       chain nodes;
+       (* NO-Q-PO with αi = loopOnQ: the loop node precedes every later
+          operation of the thread, across all tasks. *)
+       (match cfg.program_order, loop_pos with
+        | Android_po, Some lp ->
+          let loop_node = node_of_pos lp in
+          List.iter
+            (fun b -> if Graph.first_pos g b > lp then add_edge_nodes loop_node b)
+            nodes
+        | Android_po, None | Full_po, _ -> ()))
+    (Trace.threads trace);
+  (* ENABLE-ST / ENABLE-MT and POST-ST / POST-MT. *)
+  List.iter
+    (fun p ->
+       (match Trace.post_index trace p with
+        | Some q ->
+          if cfg.enable_rule then
+            (match Trace.enable_index trace p with
+             | Some e -> add_edge e q
+             | None -> ());
+          if cfg.post_rule then
+            (match Trace.begin_index trace p with
+             | Some b -> add_edge q b
+             | None -> ())
+        | None -> ()))
+    (Trace.tasks trace);
+  (* ATTACH-Q-MT. *)
+  if cfg.attach_rule then
+    Trace.iteri
+      (fun i (e : Trace.event) ->
+         match e.op with
+         | Operation.Post { target; _ } when not (Thread_id.equal e.thread target)
+           ->
+           (* find the target's attachQ *)
+           (match
+              List.find_opt
+                (fun id ->
+                   match Graph.kind g id with
+                   | Graph.Anchor pos ->
+                     (match Trace.op trace pos with
+                      | Operation.Attach_queue -> true
+                      | _ -> false)
+                   | Graph.Access_block _ -> false)
+                (Graph.nodes_of_thread g target)
+            with
+            | Some attach_node -> add_edge_nodes attach_node (node_of_pos i)
+            | None -> ())
+         | _ -> ())
+      trace;
+  (* FORK, JOIN, LOCK. *)
+  let init_pos = Hashtbl.create 8 and exit_pos = Hashtbl.create 8 in
+  let releases = Hashtbl.create 8 and acquires = Hashtbl.create 8 in
+  Trace.iteri
+    (fun i (e : Trace.event) ->
+       match e.op with
+       | Operation.Thread_init ->
+         if not (Hashtbl.mem init_pos (Thread_id.to_int e.thread)) then
+           Hashtbl.add init_pos (Thread_id.to_int e.thread) i
+       | Operation.Thread_exit ->
+         if not (Hashtbl.mem exit_pos (Thread_id.to_int e.thread)) then
+           Hashtbl.add exit_pos (Thread_id.to_int e.thread) i
+       | Operation.Release l ->
+         Hashtbl.add releases (Lock_id.to_string l) (i, e.thread)
+       | Operation.Acquire l ->
+         Hashtbl.add acquires (Lock_id.to_string l) (i, e.thread)
+       | _ -> ())
+    trace;
+  if cfg.fork_join_rules then
+    Trace.iteri
+      (fun i (e : Trace.event) ->
+         match e.op with
+         | Operation.Fork t' ->
+           (match Hashtbl.find_opt init_pos (Thread_id.to_int t') with
+            | Some j -> add_edge i j
+            | None -> ())
+         | Operation.Join t' ->
+           (match Hashtbl.find_opt exit_pos (Thread_id.to_int t') with
+            | Some j -> add_edge j i
+            | None -> ())
+         | _ -> ())
+      trace;
+  if cfg.lock_rule then
+    Hashtbl.iter
+      (fun l (ri, rt) ->
+         List.iter
+           (fun (ai, at) ->
+              if ri < ai && (cfg.lock_same_thread || not (Thread_id.equal rt at))
+              then add_edge ri ai)
+           (Hashtbl.find_all acquires l))
+      releases;
+  (* Tasks grouped by the thread that executes them, for FIFO/NOPRE. *)
+  let entries_by_target : (int, task_entry list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun p ->
+       match Trace.post_index trace p, Trace.post_target trace p with
+       | Some q, Some target ->
+         let info idx = Option.map (fun i -> (node_of_pos i, i)) idx in
+         let entry =
+           { task = p
+           ; post_node = node_of_pos q
+           ; begin_info = info (Trace.begin_index trace p)
+           ; end_info = info (Trace.end_index trace p)
+           ; flavour =
+               Option.value (Trace.post_flavour trace p)
+                 ~default:Operation.Immediate
+           ; task_nodes = Graph.nodes_of_task g p
+           }
+         in
+         let key = Thread_id.to_int target in
+         (match Hashtbl.find_opt entries_by_target key with
+          | Some l -> l := entry :: !l
+          | None -> Hashtbl.add entries_by_target key (ref [ entry ]))
+       | (Some _ | None), _ -> ())
+    (Trace.tasks trace);
+  let apply_dynamic () =
+    let changed = ref false in
+    if cfg.fifo_rule || cfg.nopre_rule then
+      Hashtbl.iter
+        (fun _ entries ->
+           let entries = !entries in
+           List.iter
+             (fun p1 ->
+                match p1.end_info with
+                | None -> ()
+                | Some (end_node, end_pos) ->
+                  List.iter
+                    (fun p2 ->
+                       match p2.begin_info with
+                       | Some (begin_node, begin_pos)
+                         when (not (Task_id.equal p1.task p2.task))
+                              && end_pos < begin_pos
+                              && not (Bit_matrix.get m end_node begin_node) ->
+                         let fifo =
+                           cfg.fifo_rule
+                           && fifo_flavours_ok p1.flavour p2.flavour
+                           && Bit_matrix.get m p1.post_node p2.post_node
+                         in
+                         (* EXTENSION: a front post pre-empts pending
+                            tasks.  Sound premise: both posts come from
+                            one task executing on the target thread
+                            itself — the target is busy between the two
+                            posts in every schedule, so p2 is still
+                            pending when the front post p1 arrives and
+                            p1 always jumps ahead: end(p1) ⪯ begin(p2). *)
+                         let front =
+                           cfg.front_rule
+                           && (match p1.flavour with
+                               | Operation.Front -> true
+                               | Operation.Immediate | Operation.Delayed _ ->
+                                 false)
+                           && Bit_matrix.get m p2.post_node p1.post_node
+                           && Thread_id.equal
+                                (Graph.thread_of_node g p1.post_node)
+                                (Graph.thread_of_node g end_node)
+                           && (match
+                                 ( Graph.task_of_node g p1.post_node
+                                 , Graph.task_of_node g p2.post_node )
+                               with
+                               | Some q1, Some q2 -> Task_id.equal q1 q2
+                               | (Some _ | None), _ -> false)
+                         in
+                         let nopre () =
+                           cfg.nopre_rule
+                           &&
+                           ((* αk = the post itself: p2 was posted from
+                               within p1 (⪯st is reflexive) *)
+                            (match Graph.task_of_node g p2.post_node with
+                             | Some q -> Task_id.equal q p1.task
+                             | None -> false)
+                            || List.exists
+                                 (fun k -> Bit_matrix.get m k p2.post_node)
+                                 p1.task_nodes)
+                         in
+                         if fifo || front || nopre () then begin
+                           Bit_matrix.set m end_node begin_node;
+                           changed := true
+                         end
+                       | Some _ | None -> ())
+                    entries)
+             entries)
+        entries_by_target;
+    !changed
+  in
+  let closure_pass () =
+    let changed = ref false in
+    for i = n - 1 downto 0 do
+      let succs = ref [] in
+      Bit_matrix.iter_row m i (fun k -> succs := k :: !succs);
+      let ti = Graph.thread_index g (Graph.thread_of_node g i) in
+      List.iter
+        (fun k ->
+           if k <> i then begin
+             let c =
+               if not cfg.restricted_transitivity then
+                 Bit_matrix.or_row m ~dst:i ~src:k
+               else if
+                 Thread_id.equal (Graph.thread_of_node g k)
+                   (Graph.thread_of_node g i)
+               then Bit_matrix.or_row m ~dst:i ~src:k
+               else
+                 Bit_matrix.or_row_masked_compl m ~dst:i ~src:k
+                   ~mask:thread_masks.(ti)
+             in
+             if c then changed := true
+           end)
+        (List.rev !succs)
+    done;
+    !changed
+  in
+  let passes = ref 0 in
+  let rec fixpoint () =
+    incr passes;
+    let c1 = closure_pass () in
+    let c2 = apply_dynamic () in
+    if c1 || c2 then fixpoint ()
+  in
+  fixpoint ();
+  { graph = g; cfg; matrix = m; fixpoint_passes = !passes }
+
+let node_hb t i j = i <> j && Bit_matrix.get t.matrix i j
+
+let hb t i j =
+  if i = j then false
+  else
+    let ni = Graph.node_of_pos t.graph i and nj = Graph.node_of_pos t.graph j in
+    if ni = nj then i < j else Bit_matrix.get t.matrix ni nj
+
+let hb_or_eq t i j = i = j || hb t i j
+let ordered t i j = hb t i j || hb t j i
+
+let same_thread t i j =
+  Thread_id.equal
+    (Trace.thread (Graph.trace t.graph) i)
+    (Trace.thread (Graph.trace t.graph) j)
+
+let node_count t = Graph.node_count t.graph
+let edge_count t = Bit_matrix.count t.matrix
+let passes t = t.fixpoint_passes

@@ -1,0 +1,26 @@
+open! Import
+
+(** Race-preserving trace minimization (delta debugging).
+
+    The paper closes by asking for "better debugging support"
+    (Section 8).  A reported race in a 100k-operation trace is hard to
+    read; this module greedily deletes whole asynchronous tasks and
+    whole threads — the removal units that keep a trace structurally
+    well-formed — while the race persists, and returns the shrunken
+    trace together with the race repositioned into it.
+
+    Removal is closed over posting: deleting a task also deletes every
+    task posted from inside it, and deleting a thread deletes the tasks
+    it posted and the tasks that ran on it.  The shrunken trace is
+    structurally well-formed by construction; it need not satisfy the
+    full Figure 5 semantics (e.g. a [join] may survive its thread),
+    which the detector does not require. *)
+
+val minimize : Trace.t -> Race.t -> Trace.t * Race.t
+(** [minimize trace race] requires [race] to have been detected on
+    [trace] by {!Detector.analyze} (in particular, [trace] is
+    cancellation-filtered and the race positions refer to it).  The
+    result still exhibits the race: the same two accesses conflict and
+    remain unordered under the default happens-before relation.
+
+    @raise Invalid_argument when the race is not a race of [trace]. *)

@@ -1,0 +1,83 @@
+open! Import
+module Thread_id = Ident.Thread_id
+module Location = Ident.Location
+
+type access =
+  { position : int
+  ; location : Location.t
+  ; is_write : bool
+  ; thread : Thread_id.t
+  ; task : Ident.Task_id.t option
+  }
+
+type t =
+  { first : access
+  ; second : access
+  }
+
+let location r = r.first.location
+
+let is_multithreaded r =
+  not (Thread_id.equal r.first.thread r.second.thread)
+
+let pp_access ppf a =
+  Format.fprintf ppf "%s(%a)@%d on %a"
+    (if a.is_write then "write" else "read")
+    Location.pp a.location a.position Thread_id.pp a.thread
+
+let pp ppf r =
+  Format.fprintf ppf "race between %a and %a" pp_access r.first pp_access
+    r.second
+
+let accesses trace =
+  let out = ref [] in
+  Trace.iteri
+    (fun i (e : Trace.event) ->
+       match Operation.accessed_location e.op with
+       | Some location ->
+         out :=
+           { position = i
+           ; location
+           ; is_write = Operation.is_write e.op
+           ; thread = e.thread
+           ; task = Trace.enclosing_task trace i
+           }
+           :: !out
+       | None -> ())
+    trace;
+  List.rev !out
+
+let detect trace ~hb =
+  let by_location = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+       let key = Location.to_string a.location in
+       match Hashtbl.find_opt by_location key with
+       | Some l -> l := a :: !l
+       | None -> Hashtbl.add by_location key (ref [ a ]))
+    (accesses trace);
+  let races = ref [] in
+  Hashtbl.iter
+    (fun _ accs ->
+       (* in trace order *)
+       let accs = List.rev !accs in
+       let rec pairs = function
+         | [] -> ()
+         | a :: rest ->
+           List.iter
+             (fun b ->
+                if (a.is_write || b.is_write)
+                   && not (hb a.position b.position)
+                   && not (hb b.position a.position)
+                then races := { first = a; second = b } :: !races)
+             rest;
+           pairs rest
+       in
+       pairs accs)
+    by_location;
+  List.sort
+    (fun r1 r2 ->
+       match Int.compare r1.first.position r2.first.position with
+       | 0 -> Int.compare r1.second.position r2.second.position
+       | c -> c)
+    !races

@@ -1,0 +1,35 @@
+open! Import
+
+(** Data races (Section 4.3).
+
+    A data race is a pair of conflicting operations — two accesses to
+    the same memory location, at least one a write — with no
+    happens-before ordering between them. *)
+
+type access =
+  { position : int  (** trace position *)
+  ; location : Ident.Location.t
+  ; is_write : bool
+  ; thread : Ident.Thread_id.t
+  ; task : Ident.Task_id.t option  (** enclosing asynchronous task *)
+  }
+
+type t =
+  { first : access  (** the earlier access in the observed trace *)
+  ; second : access
+  }
+
+val location : t -> Ident.Location.t
+
+val is_multithreaded : t -> bool
+(** The two accesses run on different threads. *)
+
+val pp : Format.formatter -> t -> unit
+
+val accesses : Trace.t -> access list
+(** All read/write operations of the trace, in trace order. *)
+
+val detect : Trace.t -> hb:(int -> int -> bool) -> t list
+(** All conflicting pairs [(i, j)], [i < j], with neither [hb i j] nor
+    [hb j i], in lexicographic order of positions.  [hb] is any
+    happens-before oracle over trace positions. *)

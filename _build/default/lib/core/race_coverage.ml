@@ -1,0 +1,54 @@
+open! Import
+
+type group =
+  { root : Race.t
+  ; covered : Race.t list
+  }
+
+(* (a, b) is covered by (c, d) when ordering c and d either way also
+   orders a and b: a ⪯ c ∧ d ⪯ b, or a ⪯ d ∧ c ⪯ b. *)
+let covers ~hb (root : Race.t) (r : Race.t) =
+  let le i j = Happens_before.hb_or_eq hb i j in
+  let a = r.first.position
+  and b = r.second.position
+  and c = root.first.position
+  and d = root.second.position in
+  (le a c && le d b) || (le a d && le c b)
+
+(* Greedy set cover: repeatedly promote the race that covers the most
+   remaining races to a root.  In the ad-hoc handoff pattern the flag
+   race covers every dependent-field race and is chosen first. *)
+let group ~hb races =
+  let rec go remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ :: _ ->
+      let best =
+        List.fold_left
+          (fun best candidate ->
+             let covered =
+               List.filter
+                 (fun r -> r != candidate && covers ~hb candidate r)
+                 remaining
+             in
+             match best with
+             | Some (_, n) when n >= List.length covered -> best
+             | Some _ | None -> Some ((candidate, covered), List.length covered))
+          None remaining
+      in
+      (match best with
+       | None -> List.rev acc
+       | Some ((root, covered), _) ->
+         let taken r = r == root || List.memq r covered in
+         go
+           (List.filter (fun r -> not (taken r)) remaining)
+           ({ root; covered } :: acc))
+  in
+  go races []
+
+let roots ~hb races = List.map (fun g -> g.root) (group ~hb races)
+
+let pp_group ppf g =
+  Format.fprintf ppf "@[<v 2>root: %a" Race.pp g.root;
+  List.iter (fun r -> Format.fprintf ppf "@,covers: %a" Race.pp r) g.covered;
+  Format.fprintf ppf "@]"

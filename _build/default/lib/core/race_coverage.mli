@@ -1,0 +1,33 @@
+open! Import
+
+(** Race coverage (the paper's reference [24]: Raychev, Vechev,
+    Sridharan, "Effective race detection for event-driven programs").
+
+    Section 6 names ad-hoc synchronization as a false-positive source
+    "which can potentially be addressed using the notion of race
+    coverage": when many reported races hang off one undetected ordering
+    mechanism, fixing (or dismissing) the {e root} race resolves the
+    whole group.  A race (a, b) is covered by a race (c, d) when
+    enforcing an order between c and d would also order a and b — i.e.
+    a ⪯ c and d ⪯ b (or symmetrically a ⪯ d and c ⪯ b), with ⪯ the
+    reflexive happens-before relation of the trace.
+
+    [group] partitions the report greedily, earliest-root-first, so the
+    developer triages root races only.  In the ad-hoc handoff pattern,
+    the flag race is the root and every dependent-field race is covered
+    by it. *)
+
+type group =
+  { root : Race.t
+  ; covered : Race.t list  (** ordered as reported *)
+  }
+
+val group : hb:Happens_before.t -> Race.t list -> group list
+(** Greedy partition: races are scanned in report order; each race
+    either joins the first group whose root covers it or founds a new
+    group.  The union of roots and covered races is the input list. *)
+
+val roots : hb:Happens_before.t -> Race.t list -> Race.t list
+(** Just the root races, in report order. *)
+
+val pp_group : Format.formatter -> group -> unit

@@ -1,0 +1,1 @@
+lib/corpus/bug_apps.ml: Import Program Runtime

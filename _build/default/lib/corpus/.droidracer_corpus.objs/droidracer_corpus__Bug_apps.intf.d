@@ -1,0 +1,1 @@
+lib/corpus/bug_apps.mli: Import Program Runtime

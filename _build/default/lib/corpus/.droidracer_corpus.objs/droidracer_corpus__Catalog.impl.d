@@ -1,0 +1,1 @@
+lib/corpus/catalog.ml: Import List String Synthetic

@@ -1,0 +1,1 @@
+lib/corpus/catalog.mli: Import Synthetic

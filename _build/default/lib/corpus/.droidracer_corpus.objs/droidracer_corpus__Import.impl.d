@@ -1,0 +1,1 @@
+lib/corpus/import.ml: Droidracer_appmodel Droidracer_core Droidracer_trace

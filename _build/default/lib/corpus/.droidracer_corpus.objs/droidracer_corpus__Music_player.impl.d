@@ -1,0 +1,1 @@
+lib/corpus/music_player.ml: Import Program Runtime

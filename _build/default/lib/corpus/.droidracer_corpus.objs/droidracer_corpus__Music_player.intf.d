@@ -1,0 +1,1 @@
+lib/corpus/music_player.mli: Import Program Runtime

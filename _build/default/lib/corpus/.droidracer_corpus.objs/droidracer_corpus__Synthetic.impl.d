@@ -1,0 +1,1 @@
+lib/corpus/synthetic.ml: Classify Ident Import List Printf Program Runtime Trace

@@ -1,0 +1,1 @@
+lib/corpus/synthetic.mli: Classify Ident Import Program Runtime

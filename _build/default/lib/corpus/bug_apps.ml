@@ -1,0 +1,112 @@
+open! Import
+
+module Aard_dictionary = struct
+  let racy_field = Program.field ~cls:"DictionaryService" "dictionariesLoaded"
+  let dictionaries = Program.field ~cls:"DictionaryService" "dictionaries"
+
+  (* The service forks a dictionary-loading thread when created; the
+     state change performed on the main thread by onStartCommand is
+     unsynchronised with the loader's reads, so the loader can observe
+     the new state before the dictionaries exist. *)
+  let dictionary_service =
+    Program.service "DictionaryService"
+      ~on_create:
+        [ Program.Fork
+            ( "dictionaryLoader"
+            , [ Program.Read racy_field  (* loader: checks the state *)
+              ; Program.Write dictionaries
+              ] )
+        ]
+      ~on_start_command:[ Program.Write racy_field  (* main: state change *) ]
+
+  let lookup_activity =
+    Program.activity "LookupActivity"
+      ~on_create:[ Program.Start_service "DictionaryService" ]
+      ~ui:
+        [ Program.handler "onLookup"
+            [ Program.Read dictionaries  (* may see empty dictionaries *) ]
+        ]
+
+  let app =
+    Program.app ~name:"AardDictionary" ~main:"LookupActivity"
+      ~activities:[ lookup_activity ]
+      ~services:[ dictionary_service ]
+      ()
+
+  let scenario = [ Runtime.Click "onLookup" ]
+end
+
+module Messenger = struct
+  let racy_field = Program.field ~cls:"Cursor" "rowCount"
+
+  let conversation_activity =
+    Program.activity "ConversationActivity"
+      ~on_create:
+        [ (* a sync thread refreshes the cursor and posts the UI update *)
+          Program.Fork ("syncThread", [ Program.post "bindListView" ])
+        ]
+      ~ui:
+        [ Program.handler "onDeleteMessage" [ Program.Write racy_field ]
+          (* deletes a list element and shrinks the cursor *)
+        ]
+
+  let app =
+    Program.app ~name:"Messenger" ~main:"ConversationActivity"
+      ~activities:[ conversation_activity ]
+      ~procs:
+        [ ( "bindListView"
+          , [ Program.Read racy_field  (* indexes the possibly-shrunk list *) ]
+          )
+        ]
+      ()
+
+  let scenario = [ Runtime.Click "onDeleteMessage" ]
+end
+
+module Fbreader = struct
+  let racy_field = Program.field ~cls:"Window" "token"
+
+  (* A book-loading thread posts a dialog update to the main thread; if
+     the activity is torn down first, the window token is gone and
+     showing the dialog throws BadTokenException. *)
+  let reader_activity =
+    Program.activity "ReaderActivity"
+      ~on_create:
+        [ Program.Write racy_field  (* window attached *)
+        ; Program.Fork ("bookLoader", [ Program.post "showProgressDialog" ])
+        ]
+      ~on_destroy:[ Program.Write racy_field  (* token cleared *) ]
+
+  let app =
+    Program.app ~name:"FBReader" ~main:"ReaderActivity"
+      ~activities:[ reader_activity ]
+      ~procs:
+        [ ("showProgressDialog", [ Program.Read racy_field ])
+          (* dialog.show() against a possibly-dead token *)
+        ]
+      ()
+
+  let scenario = [ Runtime.Back ]
+end
+
+module Tomdroid = struct
+  let racy_field = Program.field ~cls:"NoteManager" "notes"
+
+  (* onDestroy nulls the note list; a sync callback posted by the sync
+     thread dereferences it.  Reordered, the dereference sees null. *)
+  let notes_activity =
+    Program.activity "NotesList"
+      ~on_create:
+        [ Program.Write racy_field
+        ; Program.Fork ("syncThread", [ Program.post "onSynced" ])
+        ]
+      ~on_destroy:[ Program.Write racy_field  (* notes = null *) ]
+
+  let app =
+    Program.app ~name:"TomdroidNotes" ~main:"NotesList"
+      ~activities:[ notes_activity ]
+      ~procs:[ ("onSynced", [ Program.Read racy_field ]) ]
+      ()
+
+  let scenario = [ Runtime.Back ]
+end

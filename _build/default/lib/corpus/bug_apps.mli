@@ -1,0 +1,55 @@
+open! Import
+
+(** Hand-written models of the two bad-behaviour case studies of
+    Section 6 ("Open-source applications"). *)
+
+(** Aard Dictionary: a Service object is written by the main thread and
+    read by a background dictionary-loading thread without
+    synchronization.  When the read wins the race the background thread
+    sees empty dictionaries and the user's lookup fails. *)
+module Aard_dictionary : sig
+  val app : Program.app
+
+  val scenario : Runtime.ui_event list
+  (** Start the dictionary service, then look a word up. *)
+
+  val racy_field : Program.field
+  (** The Service state ([dictionariesLoaded]). *)
+end
+
+(** Messenger: a [Cursor] holding a database list is shared by two
+    asynchronous tasks on the main thread, one of them posted by a
+    background thread.  Reordering them indexes a deleted element — the
+    "index out of bounds" crash.  The race is cross-posted. *)
+module Messenger : sig
+  val app : Program.app
+
+  val scenario : Runtime.ui_event list
+
+  val racy_field : Program.field
+  (** The [Cursor.rowCount]. *)
+end
+
+(** FBReader: a dialog token is cleared by the activity's teardown
+    while a task posted from a loading thread still shows the dialog —
+    reordering crashes with BadTokenException (Section 6). *)
+module Fbreader : sig
+  val app : Program.app
+
+  val scenario : Runtime.ui_event list
+
+  val racy_field : Program.field
+  (** The window token the dialog attaches to. *)
+end
+
+(** Tomdroid Notes: onDestroy nulls the note list while a sync task
+    still dereferences it — reordering crashes with
+    NullPointerException (Section 6). *)
+module Tomdroid : sig
+  val app : Program.app
+
+  val scenario : Runtime.ui_event list
+
+  val racy_field : Program.field
+  (** The nullable note list. *)
+end

@@ -1,0 +1,48 @@
+open! Import
+
+let is_activity_destroyed =
+  Program.field ~cls:"DwFileAct" "isActivityDestroyed"
+
+let dialog_progress = Program.field ~cls:"ProgressDialog" "progress"
+let play_button = Program.field ~cls:"Button" "enabled"
+
+(* FileDwTask (lines 22-58 of Figure 1): download in the background,
+   report progress, enable the PLAY button when done.  The asserts on
+   [isActivityDestroyed] at lines 41 and 53 are the racy reads. *)
+let file_dw_task : Program.async_spec =
+  { task_name = "FileDwTask"
+  ; pre = [ Program.Write dialog_progress ]  (* dialog.show() *)
+  ; background =
+      [ Program.Read is_activity_destroyed  (* assert, line 41 *)
+      ; Program.Publish_progress  (* line 42 *)
+      ]
+  ; progress = [ Program.Write dialog_progress ]  (* setProgress, line 48 *)
+  ; post_exec =
+      [ Program.Read is_activity_destroyed  (* assert, line 53 *)
+      ; Program.Write dialog_progress  (* dialog.dismiss() *)
+      ; Program.Write play_button  (* btn.setEnabled(true) *)
+      ; Program.Enable_ui "onPlayClick"
+      ]
+  }
+
+let dw_file_act =
+  Program.activity "DwFileAct"
+    ~on_create:[ Program.Write is_activity_destroyed ]  (* line 2 init *)
+    ~on_resume:[ Program.Execute_async_task file_dw_task ]  (* line 6 *)
+    ~on_destroy:[ Program.Write is_activity_destroyed ]  (* line 15 *)
+    ~ui:
+      [ Program.handler ~enabled:false "onPlayClick"
+          [ Program.Start_activity "MusicPlayActivity" ]  (* line 11 *)
+      ]
+
+let music_play_activity = Program.activity "MusicPlayActivity"
+
+let app =
+  Program.app ~name:"MusicPlayer" ~main:"DwFileAct"
+    ~activities:[ dw_file_act; music_play_activity ]
+    ()
+
+let play_scenario = [ Runtime.Click "onPlayClick" ]
+let back_scenario = [ Runtime.Back ]
+
+let options = { Runtime.default_options with compressed_lifecycle = true }

@@ -1,0 +1,21 @@
+open! Import
+
+(** The music player of Figure 1: DwFileAct downloads a song with a
+    FileDwTask AsyncTask, shows progress, and enables the PLAY button in
+    onPostExecute.  The races of Section 2.4 manifest when the user
+    presses BACK while the download is in flight. *)
+
+val app : Program.app
+
+val is_activity_destroyed : Program.field
+(** The racy field (line 2 of Figure 1). *)
+
+val play_scenario : Runtime.ui_event list
+(** The Figure 2 / Figure 3 scenario: click PLAY. *)
+
+val back_scenario : Runtime.ui_event list
+(** The Figure 4 scenario: press BACK instead. *)
+
+val options : Runtime.options
+(** Runtime options matching the paper's figures: compressed lifecycle
+    (BACK posts onDestroy directly). *)

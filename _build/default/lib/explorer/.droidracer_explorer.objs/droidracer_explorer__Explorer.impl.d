@@ -1,0 +1,1 @@
+lib/explorer/explorer.ml: Detector Import List Program Runtime

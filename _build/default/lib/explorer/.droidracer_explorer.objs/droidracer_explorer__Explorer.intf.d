@@ -1,0 +1,1 @@
+lib/explorer/explorer.mli: Detector Import Program Runtime

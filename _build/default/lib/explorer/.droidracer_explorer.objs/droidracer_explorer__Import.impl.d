@@ -1,0 +1,1 @@
+lib/explorer/import.ml: Droidracer_appmodel Droidracer_core Droidracer_trace

@@ -1,0 +1,1 @@
+lib/explorer/schedule_explorer.ml: Import List Race Runtime Trace Verify

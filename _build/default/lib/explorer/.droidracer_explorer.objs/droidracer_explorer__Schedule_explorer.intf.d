@@ -1,0 +1,1 @@
+lib/explorer/schedule_explorer.mli: Ident Import Program Race Runtime Trace

@@ -1,0 +1,1 @@
+lib/explorer/verify.ml: Classify Format Ident Import List Operation Option Race Runtime String Trace

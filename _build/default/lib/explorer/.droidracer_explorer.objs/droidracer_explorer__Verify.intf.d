@@ -1,0 +1,1 @@
+lib/explorer/verify.mli: Format Ident Import Program Race Runtime Trace

@@ -1,0 +1,46 @@
+open! Import
+
+(** The UI Explorer (Section 5): systematic generation of UI event
+    sequences.
+
+    The explorer runs the application, inspects the events enabled on
+    the final screen, and extends the current sequence with each of
+    them, depth-first, up to the bound [k].  Every extension replays its
+    prefix from scratch — the database-backed backtracking-and-replay of
+    the paper, with the replay database realised as the deterministic
+    runtime.  Each executed sequence yields a test case whose observed
+    trace can be fed to the race detector. *)
+
+type test_case =
+  { events : Runtime.ui_event list  (** the injected sequence *)
+  ; result : Runtime.run_result
+  }
+
+type exploration =
+  { cases : test_case list  (** in depth-first visit order *)
+  ; truncated : bool  (** the [max_cases] budget was exhausted *)
+  }
+
+val explore :
+  ?options:Runtime.options ->
+  ?bound:int ->
+  ?max_cases:int ->
+  ?include_rotate:bool ->
+  ?include_intents:bool ->
+  Program.app ->
+  exploration
+(** [explore app] systematically tests [app] with event sequences of
+    length at most [bound] (default 3; the paper uses 1–7).  At every
+    screen the candidate events are the enabled UI handlers, BACK and —
+    when [include_rotate] (default false) — screen rotation.  With
+    [include_intents] (default false; an extension, the paper's tool
+    "only generates UI events but not intents", Section 8) the
+    candidates also include one external intent per action some
+    activity filters.
+    [max_cases] (default 200) bounds the total number of runs. *)
+
+val racy_cases :
+  ?config:Detector.config -> exploration -> (test_case * Detector.report) list
+(** The test cases whose traces contain at least one race, with their
+    reports — "for each application, DroidRacer found tests which
+    manifested one or more races" (Section 6). *)

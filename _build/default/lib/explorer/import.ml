@@ -1,0 +1,10 @@
+(* Aliases for the modules of the lower libraries; opened by every file
+   of this library. *)
+module Ident = Droidracer_trace.Ident
+module Operation = Droidracer_trace.Operation
+module Trace = Droidracer_trace.Trace
+module Program = Droidracer_appmodel.Program
+module Runtime = Droidracer_appmodel.Runtime
+module Race = Droidracer_core.Race
+module Classify = Droidracer_core.Classify
+module Detector = Droidracer_core.Detector

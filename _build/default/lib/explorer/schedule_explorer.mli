@@ -1,0 +1,66 @@
+open! Import
+
+(** Exhaustive bounded schedule exploration (stateless model checking).
+
+    The paper notes that "safety verification is undecidable for
+    multi-threaded programs communicating via FIFO queues, and there are
+    no software model checkers that understand this concurrency model"
+    (Section 7).  For the bounded modeled applications of this
+    repository the schedule tree {e is} finite, and this module
+    enumerates it: every scheduling decision of {!Runtime} is a branch
+    point (reported via [choice_arities]), and runs are replayed with
+    the {!Runtime.Scripted} policy in depth-first order — the classic
+    stateless-exploration loop.
+
+    Two uses:
+
+    - {!explore}: enumerate (a bounded prefix of) all schedules of an
+      application under a fixed event sequence, deduplicating observed
+      traces;
+    - {!verify_exhaustively}: upgrade the sampling verifier of
+      {!Verify} to a decision procedure on small applications — a race
+      is {e definitely} a false positive when no schedule in the fully
+      explored tree reorders its accesses. *)
+
+type exploration =
+  { runs : int  (** schedules executed *)
+  ; distinct_traces : Trace.t list
+      (** observed traces, one per distinct interleaving *)
+  ; exhausted : bool
+      (** the whole schedule tree fit within the budget; when false the
+          enumeration is a prefix *)
+  }
+
+val explore :
+  ?max_runs:int ->
+  ?options:Runtime.options ->
+  Program.app ->
+  Runtime.ui_event list ->
+  exploration
+(** Depth-first enumeration of the schedule tree, bounded by [max_runs]
+    (default 500) replays. *)
+
+type exhaustive_verdict =
+  | Flipped of Runtime.run_result
+      (** a schedule reordering the two accesses, with its run *)
+  | Never_flips of int
+      (** the full tree was explored ([n] schedules): the reported order
+          is enforced — a definite false positive *)
+  | Budget_exhausted of int
+      (** no flip within [n] explored schedules, tree not exhausted *)
+
+val verify_exhaustively :
+  ?max_runs:int ->
+  ?options:Runtime.options ->
+  app:Program.app ->
+  events:Runtime.ui_event list ->
+  trace:Trace.t ->
+  thread_names:(Ident.Thread_id.t * string) list ->
+  Race.t ->
+  exhaustive_verdict
+(** Like {!Verify.verify} but by exhaustive enumeration under the fixed
+    event sequence (event-order perturbation is the sampling verifier's
+    job).  The enumeration is naive — no partial-order reduction — so a
+    definite [Never_flips] is only reachable for small applications;
+    larger ones fall back to [Budget_exhausted], which is a sampling
+    answer like the seeded verifier's. *)

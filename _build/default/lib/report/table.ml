@@ -1,0 +1,65 @@
+type row =
+  | Cells of string list
+  | Separator
+
+type t =
+  { title : string
+  ; columns : string list
+  ; mutable rows : row list  (** reversed *)
+  }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length cells) (List.length t.columns));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+         List.fold_left
+           (fun acc row ->
+              match row with
+              | Cells cells -> max acc (String.length (List.nth cells i))
+              | Separator -> acc)
+           (String.length header) rows)
+      t.columns
+  in
+  let buf = Buffer.create 1024 in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-')) widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  rule ();
+  List.iteri
+    (fun i h ->
+       Buffer.add_string buf (pad h (List.nth widths i));
+       Buffer.add_string buf "  ")
+    t.columns;
+  Buffer.add_char buf '\n';
+  rule ();
+  List.iter
+    (fun row ->
+       match row with
+       | Separator -> rule ()
+       | Cells cells ->
+         List.iteri
+           (fun i c ->
+              Buffer.add_string buf (pad c (List.nth widths i));
+              Buffer.add_string buf "  ")
+           cells;
+         Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a column-count mismatch. *)
+
+val add_separator : t -> unit
+(** A horizontal rule, e.g. between the open-source and proprietary
+    sections of Tables 2 and 3. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to standard output. *)

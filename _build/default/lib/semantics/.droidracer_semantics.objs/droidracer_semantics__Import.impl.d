@@ -1,0 +1,1 @@
+lib/semantics/import.ml: Droidracer_trace

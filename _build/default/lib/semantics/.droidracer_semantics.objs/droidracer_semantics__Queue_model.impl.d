@@ -1,0 +1,1 @@
+lib/semantics/queue_model.ml: Format Ident Import List Operation

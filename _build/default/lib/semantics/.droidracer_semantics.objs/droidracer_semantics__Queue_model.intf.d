@@ -1,0 +1,1 @@
+lib/semantics/queue_model.mli: Ident Import Operation

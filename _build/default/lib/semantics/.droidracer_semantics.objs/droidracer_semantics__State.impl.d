@@ -1,0 +1,1 @@
+lib/semantics/state.ml: Ident Import List Option Queue_model

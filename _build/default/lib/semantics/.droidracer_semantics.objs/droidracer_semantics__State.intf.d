@@ -1,0 +1,1 @@
+lib/semantics/state.mli: Ident Import Queue_model

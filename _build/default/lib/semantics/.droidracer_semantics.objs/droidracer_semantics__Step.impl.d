@@ -1,0 +1,1 @@
+lib/semantics/step.ml: Format Ident Import List Operation Option Queue_model Result State Trace

@@ -1,0 +1,1 @@
+lib/semantics/step.mli: Format Ident Import State Trace

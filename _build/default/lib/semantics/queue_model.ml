@@ -1,0 +1,77 @@
+open! Import
+
+module Task_id = Ident.Task_id
+
+type entry =
+  { task : Task_id.t
+  ; flavour : Operation.post_flavour
+  ; seq : int  (** arrival order *)
+  }
+
+type t =
+  { entries : entry list  (** in arrival order *)
+  ; next_seq : int
+  }
+
+let empty = { entries = []; next_seq = 0 }
+let is_empty q = q.entries = []
+let mem q p = List.exists (fun e -> Task_id.equal e.task p) q.entries
+let pending q = List.map (fun e -> e.task) q.entries
+
+let post q p flavour =
+  if mem q p then
+    invalid_arg
+      (Format.asprintf "Queue_model.post: task %a already pending" Task_id.pp p);
+  { entries = q.entries @ [ { task = p; flavour; seq = q.next_seq } ]
+  ; next_seq = q.next_seq + 1
+  }
+
+let cancel q p =
+  if mem q p then
+    Some { q with entries = List.filter (fun e -> not (Task_id.equal e.task p)) q.entries }
+  else None
+
+(* The dispatch policy; see the interface for the rationale. *)
+let eligible_entries q =
+  let fronts =
+    List.filter (fun e -> e.flavour = Operation.Front) q.entries
+  in
+  match List.rev fronts with
+  | top :: _ -> [ top ]
+  | [] ->
+    let ok e =
+      match e.flavour with
+      | Operation.Front -> false
+      | Operation.Immediate ->
+        (* strict FIFO among immediate posts *)
+        List.for_all
+          (fun e' ->
+             e'.seq >= e.seq || e'.flavour <> Operation.Immediate)
+          q.entries
+      | Operation.Delayed d ->
+        List.for_all
+          (fun e' ->
+             e'.seq >= e.seq
+             ||
+             match e'.flavour with
+             | Operation.Immediate -> false  (* rule (a) *)
+             | Operation.Delayed d' -> d' > d  (* rule (b) *)
+             | Operation.Front -> true)
+          q.entries
+    in
+    List.filter ok q.entries
+
+let eligible q = List.map (fun e -> e.task) (eligible_entries q)
+
+let dequeue q p =
+  if not (mem q p) then
+    Error (Format.asprintf "task %a is not pending" Task_id.pp p)
+  else if not (List.exists (fun e -> Task_id.equal e.task p) (eligible_entries q))
+  then
+    Error
+      (Format.asprintf
+         "task %a may not be dispatched yet (eligible: %a)" Task_id.pp p
+         (Format.pp_print_list ~pp_sep:Format.pp_print_space Task_id.pp)
+         (eligible q))
+  else
+    Ok { q with entries = List.filter (fun e -> not (Task_id.equal e.task p)) q.entries }

@@ -1,0 +1,194 @@
+open! Import
+
+module Thread_id = Ident.Thread_id
+module Task_id = Ident.Task_id
+module Lock_id = Ident.Lock_id
+
+type violation_kind =
+  | Thread_not_fresh of Thread_id.t
+  | Thread_not_created of Thread_id.t
+  | Thread_not_running of Thread_id.t
+  | Thread_not_finished of Thread_id.t
+  | Queue_missing of Thread_id.t
+  | Queue_already_attached of Thread_id.t
+  | Already_looping of Thread_id.t
+  | Not_looping of Thread_id.t
+  | Thread_busy of Thread_id.t * Task_id.t
+  | Thread_idle_action of Thread_id.t
+  | Task_not_executing of Task_id.t
+  | Bad_dispatch of Task_id.t * string
+  | Lock_held_elsewhere of Lock_id.t * Thread_id.t
+  | Lock_not_held of Lock_id.t
+  | Cancel_not_pending of Task_id.t
+
+type violation =
+  { position : int
+  ; event : Trace.event
+  ; kind : violation_kind
+  }
+
+let pp_violation_kind ppf = function
+  | Thread_not_fresh t ->
+    Format.fprintf ppf "forked thread %a already exists" Thread_id.pp t
+  | Thread_not_created t ->
+    Format.fprintf ppf "thread %a is not awaiting initialization" Thread_id.pp t
+  | Thread_not_running t ->
+    Format.fprintf ppf "thread %a is not running" Thread_id.pp t
+  | Thread_not_finished t ->
+    Format.fprintf ppf "joined thread %a has not finished" Thread_id.pp t
+  | Queue_missing t ->
+    Format.fprintf ppf "thread %a has no task queue" Thread_id.pp t
+  | Queue_already_attached t ->
+    Format.fprintf ppf "thread %a already has a task queue" Thread_id.pp t
+  | Already_looping t ->
+    Format.fprintf ppf "thread %a is already looping on its queue" Thread_id.pp t
+  | Not_looping t ->
+    Format.fprintf ppf "thread %a has not begun processing its queue" Thread_id.pp t
+  | Thread_busy (t, p) ->
+    Format.fprintf ppf "thread %a is still executing task %a" Thread_id.pp t
+      Task_id.pp p
+  | Thread_idle_action t ->
+    Format.fprintf ppf
+      "looping thread %a executed an operation outside any task" Thread_id.pp t
+  | Task_not_executing p ->
+    Format.fprintf ppf "task %a is not the executing task" Task_id.pp p
+  | Bad_dispatch (p, why) ->
+    Format.fprintf ppf "illegal dispatch of %a: %s" Task_id.pp p why
+  | Lock_held_elsewhere (l, t) ->
+    Format.fprintf ppf "lock %a is held by thread %a" Lock_id.pp l Thread_id.pp t
+  | Lock_not_held l ->
+    Format.fprintf ppf "lock %a is not held by the releasing thread" Lock_id.pp l
+  | Cancel_not_pending p ->
+    Format.fprintf ppf "cancelled task %a is not pending" Task_id.pp p
+
+let pp_violation ppf v =
+  Format.fprintf ppf "position %d (%a): %a" v.position Trace.pp_event v.event
+    pp_violation_kind v.kind
+
+let ( let* ) = Result.bind
+
+(* A running thread precondition, shared by most rules. *)
+let check_running s t =
+  if State.is_running s t then Ok () else Error (Thread_not_running t)
+
+(* Memory accesses and lock operations may not run on an idle looping
+   thread: between tasks the thread sits in the looper, executing no
+   application code.  Posts, enables, forks etc. are allowed while idle —
+   the runtime itself performs them on the thread's behalf (e.g. the
+   looper posting a UI-event handler, operation 19 of Figure 3). *)
+let check_not_idle s t =
+  if State.is_looping s t && Option.is_none (State.executing s t) then
+    Error (Thread_idle_action t)
+  else Ok ()
+
+let apply s ({ Trace.thread = t; op } : Trace.event) =
+  match op with
+  | Operation.Thread_init ->
+    let s =
+      match State.phase s t with
+      | None -> State.register_initial s t
+      | Some _ -> s
+    in
+    (match State.phase s t with
+     | Some State.Created -> Ok (State.set_running s t)
+     | Some (State.Running | State.Finished) | None ->
+       Error (Thread_not_created t))
+  | Operation.Thread_exit ->
+    let* () = check_running s t in
+    Ok (State.set_finished s t)
+  | Operation.Fork t' ->
+    let* () = check_running s t in
+    (match State.phase s t' with
+     | Some _ -> Error (Thread_not_fresh t')
+     | None -> Ok (State.add_created s t'))
+  | Operation.Join t' ->
+    let* () = check_running s t in
+    (match State.phase s t' with
+     | Some State.Finished -> Ok s
+     | Some (State.Created | State.Running) | None ->
+       Error (Thread_not_finished t'))
+  | Operation.Attach_queue ->
+    let* () = check_running s t in
+    (match State.queue s t with
+     | Some _ -> Error (Queue_already_attached t)
+     | None -> Ok (State.attach_queue s t))
+  | Operation.Loop_on_queue ->
+    let* () = check_running s t in
+    if State.is_looping s t then Error (Already_looping t)
+    else
+      (match State.queue s t with
+       | None -> Error (Queue_missing t)
+       | Some _ -> Ok (State.set_looping s t))
+  | Operation.Post { task; target; flavour } ->
+    let* () = check_running s t in
+    let* () = check_running s target in
+    (match State.queue s target with
+     | None -> Error (Queue_missing target)
+     | Some q -> Ok (State.update_queue s target (Queue_model.post q task flavour)))
+  | Operation.Begin_task p ->
+    let* () = check_running s t in
+    if not (State.is_looping s t) then Error (Not_looping t)
+    else
+      (match State.executing s t with
+       | Some q -> Error (Thread_busy (t, q))
+       | None ->
+         (match State.queue s t with
+          | None -> Error (Queue_missing t)
+          | Some q ->
+            (match Queue_model.dequeue q p with
+             | Error why -> Error (Bad_dispatch (p, why))
+             | Ok q ->
+               let s = State.update_queue s t q in
+               Ok (State.set_executing s t (Some p)))))
+  | Operation.End_task p ->
+    let* () = check_running s t in
+    (match State.executing s t with
+     | Some q when Task_id.equal p q -> Ok (State.set_executing s t None)
+     | Some _ | None -> Error (Task_not_executing p))
+  | Operation.Acquire l ->
+    let* () = check_running s t in
+    let* () = check_not_idle s t in
+    (match State.lock_holder s l with
+     | Some holder when not (Thread_id.equal holder t) ->
+       Error (Lock_held_elsewhere (l, holder))
+     | Some _ | None -> Ok (State.acquire_lock s t l))
+  | Operation.Release l ->
+    let* () = check_running s t in
+    let* () = check_not_idle s t in
+    (match State.release_lock s t l with
+     | Some s -> Ok s
+     | None -> Error (Lock_not_held l))
+  | Operation.Read _ | Operation.Write _ ->
+    let* () = check_running s t in
+    let* () = check_not_idle s t in
+    Ok s
+  | Operation.Enable p ->
+    let* () = check_running s t in
+    Ok (State.add_enabled s p)
+  | Operation.Cancel p ->
+    let* () = check_running s t in
+    let cancelled =
+      List.find_map
+        (fun (target, q) ->
+           match Queue_model.cancel q p with
+           | Some q -> Some (State.update_queue s target q)
+           | None -> None)
+        (State.all_queues s)
+    in
+    (match cancelled with
+     | Some s -> Ok s
+     | None -> Error (Cancel_not_pending p))
+
+let validate trace =
+  let n = Trace.length trace in
+  let rec go i s =
+    if i >= n then Ok s
+    else
+      let event = Trace.get trace i in
+      match apply s event with
+      | Ok s -> go (i + 1) s
+      | Error kind -> Error { position = i; event; kind }
+  in
+  go 0 State.initial
+
+let is_valid trace = Result.is_ok (validate trace)

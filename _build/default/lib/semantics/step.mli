@@ -1,0 +1,59 @@
+open! Import
+
+(** The transition rules of Figure 5, as an executable checker.
+
+    [apply] implements one →-step of the transition system; [validate]
+    replays a whole trace from the initial state.  Every trace emitted by
+    the interpreter of {!Droidracer_appmodel} validates (this is a
+    property test), and hand-written or file-loaded traces can be checked
+    before analysis. *)
+
+(** Why a transition is not enabled. *)
+type violation_kind =
+  | Thread_not_fresh of Ident.Thread_id.t
+      (** F ORK: the forked thread already exists *)
+  | Thread_not_created of Ident.Thread_id.t
+      (** I NIT: [threadinit] of a thread not in C *)
+  | Thread_not_running of Ident.Thread_id.t
+      (** the executing thread (or a post target) is not in R *)
+  | Thread_not_finished of Ident.Thread_id.t
+      (** J OIN: joined thread is not in F *)
+  | Queue_missing of Ident.Thread_id.t
+      (** post/loopOnQ target has the zero-capacity queue ε *)
+  | Queue_already_attached of Ident.Thread_id.t
+  | Already_looping of Ident.Thread_id.t
+  | Not_looping of Ident.Thread_id.t  (** [begin] before [loopOnQ] *)
+  | Thread_busy of Ident.Thread_id.t * Ident.Task_id.t
+      (** B EGIN while E(t) ≠ ⊥: tasks run to completion *)
+  | Thread_idle_action of Ident.Thread_id.t
+      (** a looping thread accessed memory or a lock while idle; posts,
+          enables and forks are permitted (the runtime performs them on
+          the thread's behalf, e.g. operation 19 of Figure 3) *)
+  | Task_not_executing of Ident.Task_id.t  (** E ND of the wrong task *)
+  | Bad_dispatch of Ident.Task_id.t * string
+      (** B EGIN violating the queue dispatch policy of {!Queue_model} *)
+  | Lock_held_elsewhere of Ident.Lock_id.t * Ident.Thread_id.t
+      (** A CQUIRE of a lock held by the given other thread *)
+  | Lock_not_held of Ident.Lock_id.t  (** R ELEASE without a matching hold *)
+  | Cancel_not_pending of Ident.Task_id.t
+
+type violation =
+  { position : int  (** 0-based index into the trace; -1 from [apply] *)
+  ; event : Trace.event
+  ; kind : violation_kind
+  }
+
+val pp_violation_kind : Format.formatter -> violation_kind -> unit
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val apply : State.t -> Trace.event -> (State.t, violation_kind) result
+(** One transition.  [threadinit] of a thread never seen before is
+    treated as an initial thread of the application (registered in C on
+    the fly); see {!State.initial}. *)
+
+val validate : Trace.t -> (State.t, violation) result
+(** Replays the trace from the initial state; returns the final state or
+    the first violation. *)
+
+val is_valid : Trace.t -> bool

@@ -1,0 +1,1 @@
+lib/trace/ident.ml: Format Int Map Option Set String

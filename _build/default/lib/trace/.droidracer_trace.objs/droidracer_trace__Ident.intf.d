@@ -1,0 +1,1 @@
+lib/trace/ident.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/trace/operation.ml: Format Ident Int Option

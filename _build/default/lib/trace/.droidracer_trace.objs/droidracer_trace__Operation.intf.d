@@ -1,0 +1,1 @@
+lib/trace/operation.mli: Format Ident

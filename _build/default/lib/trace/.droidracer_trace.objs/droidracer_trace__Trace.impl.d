@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Format Hashtbl Ident List Operation Option Printf

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Format Ident In_channel List Operation Out_channel Printf Result String Trace

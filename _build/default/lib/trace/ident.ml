@@ -1,0 +1,141 @@
+let no_whitespace s = not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') s)
+
+module Thread_id = struct
+  type t = int
+
+  let make n =
+    if n < 0 then invalid_arg "Thread_id.make: negative id";
+    n
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf t = Format.fprintf ppf "t%d" t
+  let to_string t = Format.asprintf "%a" pp t
+
+  let of_string s =
+    if String.length s >= 2 && s.[0] = 't' then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+      |> Option.map (fun n -> if n < 0 then None else Some n)
+      |> Option.join
+    else None
+
+  module Set = Set.Make (Int)
+  module Map = Map.Make (Int)
+end
+
+module Lock_id = struct
+  type t = string
+
+  let make name =
+    if name = "" || not (no_whitespace name) then
+      invalid_arg "Lock_id.make: empty name or whitespace";
+    name
+
+  let name t = t
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf t = Format.pp_print_string ppf t
+  let to_string t = t
+  let of_string s = if s = "" || not (no_whitespace s) then None else Some s
+
+  module Set = Set.Make (String)
+  module Map = Map.Make (String)
+end
+
+module Task_id = struct
+  type t = { name : string; instance : int }
+
+  let make ~name ~instance =
+    if name = "" || not (no_whitespace name) || String.contains name '#' then
+      invalid_arg "Task_id.make: invalid name";
+    if instance < 0 then invalid_arg "Task_id.make: negative instance";
+    { name; instance }
+
+  let name t = t.name
+  let instance t = t.instance
+  let equal a b = Int.equal a.instance b.instance && String.equal a.name b.name
+
+  let compare a b =
+    match String.compare a.name b.name with
+    | 0 -> Int.compare a.instance b.instance
+    | c -> c
+
+  let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.instance
+  let to_string t = Format.asprintf "%a" pp t
+
+  let of_string s =
+    match String.index_opt s '#' with
+    | None -> None
+    | Some i ->
+      let name = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt rest with
+       | Some instance when instance >= 0 && name <> "" && no_whitespace name ->
+         Some { name; instance }
+       | Some _ | None -> None)
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Set.Make (Ord)
+  module Map = Map.Make (Ord)
+end
+
+module Location = struct
+  type t = { cls : string; field : string; obj : int }
+
+  let valid_part s =
+    s <> "" && no_whitespace s && not (String.contains s '.')
+    && not (String.contains s '@')
+
+  let make ~cls ~field ~obj =
+    if not (valid_part cls) then invalid_arg "Location.make: invalid class";
+    if not (valid_part field) then invalid_arg "Location.make: invalid field";
+    if obj < 0 then invalid_arg "Location.make: negative object id";
+    { cls; field; obj }
+
+  let cls t = t.cls
+  let field t = t.field
+  let obj t = t.obj
+  let field_key t = t.cls ^ "." ^ t.field
+
+  let equal a b =
+    Int.equal a.obj b.obj && String.equal a.field b.field
+    && String.equal a.cls b.cls
+
+  let compare a b =
+    match String.compare a.cls b.cls with
+    | 0 ->
+      (match String.compare a.field b.field with
+       | 0 -> Int.compare a.obj b.obj
+       | c -> c)
+    | c -> c
+
+  let pp ppf t = Format.fprintf ppf "%s.%s@%d" t.cls t.field t.obj
+  let to_string t = Format.asprintf "%a" pp t
+
+  let of_string s =
+    match String.index_opt s '.', String.index_opt s '@' with
+    | Some i, Some j when i < j ->
+      let cls = String.sub s 0 i in
+      let field = String.sub s (i + 1) (j - i - 1) in
+      let rest = String.sub s (j + 1) (String.length s - j - 1) in
+      (match int_of_string_opt rest with
+       | Some obj when obj >= 0 && valid_part cls && valid_part field ->
+         Some { cls; field; obj }
+       | Some _ | None -> None)
+    | Some _, (Some _ | None) | None, (Some _ | None) -> None
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Set.Make (Ord)
+  module Map = Map.Make (Ord)
+end

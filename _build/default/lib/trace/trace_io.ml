@@ -1,0 +1,140 @@
+module Thread_id = Ident.Thread_id
+module Task_id = Ident.Task_id
+module Lock_id = Ident.Lock_id
+module Location = Ident.Location
+
+let print_event ppf (e : Trace.event) =
+  Format.fprintf ppf "%a %a" Thread_id.pp e.thread Operation.pp e.op
+
+let print ppf trace =
+  Trace.iteri (fun _ e -> Format.fprintf ppf "%a@\n" print_event e) trace
+
+let to_string trace = Format.asprintf "%a" print trace
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_thread w =
+  match Thread_id.of_string w with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "expected a thread id, got %S" w)
+
+let parse_task w =
+  match Task_id.of_string w with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "expected a task id (name#instance), got %S" w)
+
+let parse_lock w =
+  match Lock_id.of_string w with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "expected a lock name, got %S" w)
+
+let parse_location w =
+  match Location.of_string w with
+  | Some m -> Ok m
+  | None ->
+    Error (Printf.sprintf "expected a memory location (cls.field@obj), got %S" w)
+
+let ( let* ) = Result.bind
+
+let parse_post_flavour words =
+  match words with
+  | [] -> Ok Operation.Immediate
+  | [ "front" ] -> Ok Operation.Front
+  | [ w ] when String.length w > 6 && String.sub w 0 6 = "delay=" ->
+    (match int_of_string_opt (String.sub w 6 (String.length w - 6)) with
+     | Some d when d >= 0 -> Ok (Operation.Delayed d)
+     | Some _ | None -> Error (Printf.sprintf "invalid delay in %S" w))
+  | w :: _ -> Error (Printf.sprintf "unexpected post argument %S" w)
+
+let parse_op mnemonic args =
+  match mnemonic, args with
+  | "threadinit", [] -> Ok Operation.Thread_init
+  | "threadexit", [] -> Ok Operation.Thread_exit
+  | "attachq", [] -> Ok Operation.Attach_queue
+  | "looponq", [] -> Ok Operation.Loop_on_queue
+  | "fork", [ w ] ->
+    let* t = parse_thread w in
+    Ok (Operation.Fork t)
+  | "join", [ w ] ->
+    let* t = parse_thread w in
+    Ok (Operation.Join t)
+  | "post", task_w :: target_w :: rest ->
+    let* task = parse_task task_w in
+    let* target = parse_thread target_w in
+    let* flavour = parse_post_flavour rest in
+    Ok (Operation.Post { task; target; flavour })
+  | "begin", [ w ] ->
+    let* p = parse_task w in
+    Ok (Operation.Begin_task p)
+  | "end", [ w ] ->
+    let* p = parse_task w in
+    Ok (Operation.End_task p)
+  | "enable", [ w ] ->
+    let* p = parse_task w in
+    Ok (Operation.Enable p)
+  | "cancel", [ w ] ->
+    let* p = parse_task w in
+    Ok (Operation.Cancel p)
+  | "acquire", [ w ] ->
+    let* l = parse_lock w in
+    Ok (Operation.Acquire l)
+  | "release", [ w ] ->
+    let* l = parse_lock w in
+    Ok (Operation.Release l)
+  | "read", [ w ] ->
+    let* m = parse_location w in
+    Ok (Operation.Read m)
+  | "write", [ w ] ->
+    let* m = parse_location w in
+    Ok (Operation.Write m)
+  | ( ( "threadinit" | "threadexit" | "attachq" | "looponq" | "fork" | "join"
+      | "post" | "begin" | "end" | "enable" | "cancel" | "acquire" | "release"
+      | "read" | "write" )
+    , _ ) -> Error (Printf.sprintf "wrong number of arguments for %S" mnemonic)
+  | other, _ -> Error (Printf.sprintf "unknown operation %S" other)
+
+let parse_event line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i
+      when
+        (* '#' also occurs inside task ids; a comment is a '#' preceded by
+           whitespace or starting the line. *)
+        i = 0 || line.[i - 1] = ' ' || line.[i - 1] = '\t' ->
+      String.sub line 0 i
+    | Some _ | None -> line
+  in
+  match split_words line with
+  | [] -> Ok None
+  | thread_w :: mnemonic :: args ->
+    let* thread = parse_thread thread_w in
+    let* op = parse_op mnemonic args in
+    Ok (Some { Trace.thread; op })
+  | [ w ] -> Error (Printf.sprintf "incomplete line %S" w)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] ->
+      (match Trace.of_events (List.rev acc) with
+       | Ok trace -> Ok trace
+       | Error msg -> Error ("ill-formed trace: " ^ msg))
+    | line :: rest ->
+      (match parse_event line with
+       | Ok (Some e) -> go (lineno + 1) (e :: acc) rest
+       | Ok None -> go (lineno + 1) acc rest
+       | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let save path trace =
+  Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc (to_string trace))

@@ -1,0 +1,38 @@
+(** Textual trace format.
+
+    The Trace Generator of the real DroidRacer logs operations to a file
+    that the Race Detector analyses offline (Section 5); this module is
+    the corresponding on-disk format.  One operation per line:
+
+    {v
+    # comment
+    t1 threadinit
+    t1 attachq
+    t1 looponq
+    t0 post LAUNCH_ACTIVITY#0 t1
+    t0 post REFRESH#0 t1 delay=500
+    t1 begin LAUNCH_ACTIVITY#0
+    t1 write DwFileAct.isActivityDestroyed@1
+    t1 acquire dbLock
+    t1 enable onDestroy#0
+    v}
+
+    Blank lines and [#] comments are ignored.  [print] then [parse] is
+    the identity on traces (property-tested). *)
+
+val print : Format.formatter -> Trace.t -> unit
+
+val to_string : Trace.t -> string
+
+val parse_event : string -> (Trace.event option, string) result
+(** Parses one line; [Ok None] for blank/comment lines. *)
+
+val parse : string -> (Trace.t, string) result
+(** Parses a whole trace from a string.  Errors are prefixed with the
+    1-based line number. *)
+
+val load : string -> (Trace.t, string) result
+(** Reads a trace from the named file. *)
+
+val save : string -> Trace.t -> unit
+(** Writes a trace to the named file. *)

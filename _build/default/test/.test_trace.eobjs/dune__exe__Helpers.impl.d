@@ -1,0 +1,1 @@
+test/helpers.ml: Droidracer_semantics Droidracer_trace Format List Option Random

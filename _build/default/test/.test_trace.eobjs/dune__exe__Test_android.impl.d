@@ -1,0 +1,1 @@
+test/test_android.ml: Alcotest Droidracer_android Droidracer_trace Format List QCheck2 QCheck_alcotest Random Result

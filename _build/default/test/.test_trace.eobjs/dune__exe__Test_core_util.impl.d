@@ -1,0 +1,1 @@
+test/test_core_util.ml: Alcotest Droidracer_core Fun Helpers List QCheck2 QCheck_alcotest Random_trace Trace

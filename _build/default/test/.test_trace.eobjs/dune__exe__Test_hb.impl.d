@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Droidracer_core Format Helpers List Operation QCheck2 QCheck_alcotest Random_trace Trace

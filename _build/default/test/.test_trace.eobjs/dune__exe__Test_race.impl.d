@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Droidracer_core Helpers Ident List Operation QCheck2 QCheck_alcotest Random_trace Trace

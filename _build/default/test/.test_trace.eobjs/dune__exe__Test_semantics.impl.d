@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Droidracer_semantics Fmt Helpers Ident List Operation Option QCheck2 QCheck_alcotest Random_trace Result Trace

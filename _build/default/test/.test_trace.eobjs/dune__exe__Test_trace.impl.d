@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Helpers Ident List Operation Option Printf QCheck2 QCheck_alcotest Random_trace Result Trace Trace_io

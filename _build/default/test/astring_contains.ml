@@ -1,0 +1,25 @@
+(* Substring search over whitespace-normalised text, for asserting on
+   rendered tables without depending on exact column widths. *)
+
+let normalise s =
+  let buf = Buffer.create (String.length s) in
+  let last_space = ref false in
+  String.iter
+    (fun c ->
+       let is_space = c = ' ' || c = '\t' || c = '\n' in
+       if is_space then begin
+         if not !last_space then Buffer.add_char buf ' ';
+         last_space := true
+       end
+       else begin
+         Buffer.add_char buf c;
+         last_space := false
+       end)
+    s;
+  Buffer.contents buf
+
+let contains haystack needle =
+  let haystack = normalise haystack and needle = normalise needle in
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0

@@ -1,0 +1,135 @@
+open Helpers
+module Baseline = Droidracer_baselines.Baseline
+module Runtime = Droidracer_appmodel.Runtime
+module Mp = Droidracer_corpus.Music_player
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let race_pairs baseline t =
+  List.map
+    (fun (r : Droidracer_core.Race.t) -> (r.first.position, r.second.position))
+    (Baseline.detect baseline t)
+
+(* A single-threaded race: two unordered tasks on the main thread. *)
+let single_threaded_race_trace =
+  trace
+    [ threadinit 0
+    ; threadinit 1
+    ; threadinit 2
+    ; attachq 2
+    ; looponq 2
+    ; post 0 (task "p") 2
+    ; post 1 (task "q") 2
+    ; begin_task 2 (task "p")
+    ; write 2 (loc "x")  (* 8 *)
+    ; end_task 2 (task "p")
+    ; begin_task 2 (task "q")
+    ; write 2 (loc "x")  (* 11 *)
+    ; end_task 2 (task "q")
+    ]
+
+let test_multithreaded_only_misses_single_threaded () =
+  check_int "droidracer finds it" 1
+    (List.length (Baseline.detect Baseline.Droidracer single_threaded_race_trace));
+  check_int "multithreaded-only misses it" 0
+    (List.length
+       (Baseline.detect Baseline.Multithreaded_only single_threaded_race_trace))
+
+(* A fork-ordered pair: write before fork, read on the child. *)
+let fork_ordered_trace =
+  trace
+    [ threadinit 0
+    ; write 0 (loc "x")
+    ; fork 0 1
+    ; threadinit 1
+    ; read 1 (loc "x")
+    ]
+
+let test_event_driven_only_false_positive () =
+  check_int "droidracer: ordered by FORK" 0
+    (List.length (Baseline.detect Baseline.Droidracer fork_ordered_trace));
+  check_int "event-driven-only: false positive" 1
+    (List.length (Baseline.detect Baseline.Event_driven_only fork_ordered_trace))
+
+(* Two same-thread tasks sharing a lock: the naive combination orders
+   them spuriously. *)
+let lock_shadowed_trace =
+  trace
+    [ threadinit 0
+    ; threadinit 1
+    ; threadinit 2
+    ; attachq 2
+    ; looponq 2
+    ; post 0 (task "p") 2
+    ; post 1 (task "q") 2
+    ; begin_task 2 (task "p")
+    ; acquire 2 "l"
+    ; write 2 (loc "x")
+    ; release 2 "l"
+    ; end_task 2 (task "p")
+    ; begin_task 2 (task "q")
+    ; acquire 2 "l"
+    ; write 2 (loc "x")
+    ; release 2 "l"
+    ; end_task 2 (task "q")
+    ]
+
+let test_naive_combined_misses_lock_shadowed () =
+  check_int "droidracer finds it" 1
+    (List.length (Baseline.detect Baseline.Droidracer lock_shadowed_trace));
+  check_int "naive combination misses it" 0
+    (List.length (Baseline.detect Baseline.Naive_combined lock_shadowed_trace))
+
+let test_droidracer_is_reference () =
+  (* on the music player's BACK trace, the reference baseline equals the
+     detector's result *)
+  let r = Runtime.run ~options:Mp.options Mp.app Mp.back_scenario in
+  let t = r.Runtime.observed in
+  let reference = race_pairs Baseline.Droidracer t in
+  let report = Droidracer_core.Detector.analyze t in
+  let detector_pairs =
+    List.map
+      (fun { Droidracer_core.Detector.race; _ } ->
+         (race.Droidracer_core.Race.first.position,
+          race.Droidracer_core.Race.second.position))
+      report.Droidracer_core.Detector.all_races
+  in
+  check_bool "baseline Droidracer = Detector" true (reference = detector_pairs)
+
+let test_comparison_structure () =
+  let comparisons = Baseline.compare_against_droidracer lock_shadowed_trace in
+  check_int "three baselines compared" 3 (List.length comparisons);
+  List.iter
+    (fun (c : Baseline.comparison) ->
+       match c.Baseline.baseline with
+       | Baseline.Naive_combined ->
+         check_int "naive missed" 1 c.Baseline.missed;
+         check_int "naive extra" 0 c.Baseline.extra
+       | Baseline.Multithreaded_only ->
+         check_int "mt-only missed" 1 c.Baseline.missed
+       | Baseline.Event_driven_only ->
+         check_int "event-only missed" 0 c.Baseline.missed
+       | Baseline.Droidracer -> Alcotest.fail "reference should not appear")
+    comparisons
+
+let test_names () =
+  List.iter
+    (fun b -> check_bool "has a name" true (String.length (Baseline.name b) > 0))
+    Baseline.all
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "specializations"
+      , [ Alcotest.test_case "multithreaded-only misses single-threaded races"
+            `Quick test_multithreaded_only_misses_single_threaded
+        ; Alcotest.test_case "event-driven-only reports fork false positives"
+            `Quick test_event_driven_only_false_positive
+        ; Alcotest.test_case "naive combination misses lock-shadowed races"
+            `Quick test_naive_combined_misses_lock_shadowed
+        ; Alcotest.test_case "reference baseline equals the detector" `Quick
+            test_droidracer_is_reference
+        ; Alcotest.test_case "comparison structure" `Quick test_comparison_structure
+        ; Alcotest.test_case "names" `Quick test_names
+        ] )
+    ]

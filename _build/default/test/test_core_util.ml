@@ -1,0 +1,180 @@
+(* Tests of the core utility layers: the bitset matrix behind the
+   happens-before relation, the sparse vector clocks, and race
+   coverage. *)
+
+open Helpers
+module Bit_matrix = Droidracer_core.Bit_matrix
+module Vector_clock = Droidracer_core.Vector_clock
+module Race = Droidracer_core.Race
+module Race_coverage = Droidracer_core.Race_coverage
+module Detector = Droidracer_core.Detector
+module Hb = Droidracer_core.Happens_before
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+(* {1 Bit_matrix} *)
+
+let test_matrix_basics () =
+  let m = Bit_matrix.create 70 in
+  check_int "empty" 0 (Bit_matrix.count m);
+  Bit_matrix.set m 0 69;
+  Bit_matrix.set m 69 0;
+  Bit_matrix.set m 63 64;
+  check_bool "get set" true (Bit_matrix.get m 0 69);
+  check_bool "asymmetric" true (Bit_matrix.get m 69 0);
+  check_bool "word boundary" true (Bit_matrix.get m 63 64);
+  check_bool "unset" false (Bit_matrix.get m 1 1);
+  check_int "count" 3 (Bit_matrix.count m);
+  check_bool "bounds" true
+    (match Bit_matrix.get m 0 70 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_matrix_or_row () =
+  let m = Bit_matrix.create 10 in
+  Bit_matrix.set m 1 5;
+  Bit_matrix.set m 1 9;
+  check_bool "or changes" true (Bit_matrix.or_row m ~dst:0 ~src:1);
+  check_bool "dst has src bits" true
+    (Bit_matrix.get m 0 5 && Bit_matrix.get m 0 9);
+  check_bool "idempotent" false (Bit_matrix.or_row m ~dst:0 ~src:1)
+
+let test_matrix_masked_or () =
+  let m = Bit_matrix.create 10 in
+  Bit_matrix.set m 1 2;
+  Bit_matrix.set m 1 3;
+  let mask = Bit_matrix.Mask.create 10 in
+  Bit_matrix.Mask.set mask 2;
+  ignore (Bit_matrix.or_row_masked m ~dst:0 ~src:1 ~mask);
+  check_bool "masked keeps 2" true (Bit_matrix.get m 0 2);
+  check_bool "masked drops 3" false (Bit_matrix.get m 0 3);
+  ignore (Bit_matrix.or_row_masked_compl m ~dst:4 ~src:1 ~mask);
+  check_bool "complement drops 2" false (Bit_matrix.get m 4 2);
+  check_bool "complement keeps 3" true (Bit_matrix.get m 4 3)
+
+let prop_matrix_iter_row =
+  QCheck2.Test.make ~name:"iter_row visits exactly the set bits" ~count:100
+    QCheck2.Gen.(pair (int_range 1 200) (list_size (int_bound 30) (int_bound 10_000)))
+    (fun (n, bits) ->
+       let m = Bit_matrix.create n in
+       let expected =
+         List.sort_uniq compare (List.map (fun b -> b mod n) bits)
+       in
+       List.iter (fun j -> Bit_matrix.set m 0 j) expected;
+       let visited = ref [] in
+       Bit_matrix.iter_row m 0 (fun j -> visited := j :: !visited);
+       List.rev !visited = expected)
+
+(* {1 Vector_clock} *)
+
+let clock_of = List.fold_left (fun c (s, v) -> Vector_clock.set c s v) Vector_clock.empty
+
+let test_clock_basics () =
+  let c = clock_of [ (1, 3); (5, 7) ] in
+  check_int "get" 3 (Vector_clock.get c 1);
+  check_int "missing reads 0" 0 (Vector_clock.get c 2);
+  let c = Vector_clock.tick c 1 in
+  check_int "tick" 4 (Vector_clock.get c 1);
+  check_int "cardinal" 2 (Vector_clock.cardinal c);
+  (* a zero entry is not stored *)
+  check_int "zero removed" 1 (Vector_clock.cardinal (Vector_clock.set c 1 0))
+
+let vc_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> clock_of (List.map (fun (s, v) -> (s mod 8, 1 + (v mod 50))) l))
+      (list_size (int_bound 8) (pair (int_bound 100) (int_bound 100))))
+
+let prop_merge_upper_bound =
+  QCheck2.Test.make ~name:"merge is the least upper bound" ~count:200
+    QCheck2.Gen.(pair vc_gen vc_gen)
+    (fun (a, b) ->
+       let m = Vector_clock.merge a b in
+       Vector_clock.leq a m && Vector_clock.leq b m
+       &&
+       (* pointwise max, hence least *)
+       List.for_all
+         (fun slot ->
+            Vector_clock.get m slot
+            = max (Vector_clock.get a slot) (Vector_clock.get b slot))
+         (List.init 10 Fun.id))
+
+let prop_merge_laws =
+  QCheck2.Test.make ~name:"merge is commutative, associative, idempotent"
+    ~count:200
+    QCheck2.Gen.(triple vc_gen vc_gen vc_gen)
+    (fun (a, b, c) ->
+       let eq x y = Vector_clock.leq x y && Vector_clock.leq y x in
+       eq (Vector_clock.merge a b) (Vector_clock.merge b a)
+       && eq
+            (Vector_clock.merge a (Vector_clock.merge b c))
+            (Vector_clock.merge (Vector_clock.merge a b) c)
+       && eq (Vector_clock.merge a a) a)
+
+let prop_leq_partial_order =
+  QCheck2.Test.make ~name:"leq is a partial order" ~count:200
+    QCheck2.Gen.(triple vc_gen vc_gen vc_gen)
+    (fun (a, b, c) ->
+       Vector_clock.leq a a
+       && ((not (Vector_clock.leq a b && Vector_clock.leq b c))
+           || Vector_clock.leq a c))
+
+(* {1 Race coverage properties} *)
+
+let prop_coverage_partitions =
+  QCheck2.Test.make ~name:"coverage groups partition the race set" ~count:40
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 100))
+    (fun (seed, size) ->
+       (* positions must refer to the cancellation-filtered trace the
+          relation is computed on *)
+       let t = Trace.remove_cancelled (Random_trace.generate ~seed ~size ()) in
+       let hb = Detector.relation t in
+       let races = Race.detect t ~hb:(Hb.hb hb) in
+       let groups = Race_coverage.group ~hb races in
+       let members =
+         List.concat_map
+           (fun g -> g.Race_coverage.root :: g.Race_coverage.covered)
+           groups
+       in
+       List.length members = List.length races
+       && List.for_all (fun r -> List.memq r members) races)
+
+let prop_coverage_roots_cover =
+  QCheck2.Test.make ~name:"every covered race is covered by its root" ~count:40
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 100))
+    (fun (seed, size) ->
+       let t = Trace.remove_cancelled (Random_trace.generate ~seed ~size ()) in
+       let hb = Detector.relation t in
+       let races = Race.detect t ~hb:(Hb.hb hb) in
+       let le i j = Hb.hb_or_eq hb i j in
+       List.for_all
+         (fun g ->
+            let c = g.Race_coverage.root.Race.first.position
+            and d = g.Race_coverage.root.Race.second.position in
+            List.for_all
+              (fun (r : Race.t) ->
+                 let a = r.first.position and b = r.second.position in
+                 (le a c && le d b) || (le a d && le c b))
+              g.Race_coverage.covered)
+         (Race_coverage.group ~hb races))
+
+let () =
+  Alcotest.run "core_util"
+    [ ( "bit matrix"
+      , [ Alcotest.test_case "basics" `Quick test_matrix_basics
+        ; Alcotest.test_case "or_row" `Quick test_matrix_or_row
+        ; Alcotest.test_case "masked or" `Quick test_matrix_masked_or
+        ; QCheck_alcotest.to_alcotest prop_matrix_iter_row
+        ] )
+    ; ( "vector clock"
+      , [ Alcotest.test_case "basics" `Quick test_clock_basics
+        ; QCheck_alcotest.to_alcotest prop_merge_upper_bound
+        ; QCheck_alcotest.to_alcotest prop_merge_laws
+        ; QCheck_alcotest.to_alcotest prop_leq_partial_order
+        ] )
+    ; ( "race coverage"
+      , [ QCheck_alcotest.to_alcotest prop_coverage_partitions
+        ; QCheck_alcotest.to_alcotest prop_coverage_roots_cover
+        ] )
+    ]

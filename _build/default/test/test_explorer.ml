@@ -1,0 +1,322 @@
+(* Tests of the UI explorer and the schedule-perturbation verifier. *)
+
+module Trace = Droidracer_trace.Trace
+module Program = Droidracer_appmodel.Program
+module Runtime = Droidracer_appmodel.Runtime
+module Detector = Droidracer_core.Detector
+module Race = Droidracer_core.Race
+module Explorer = Droidracer_explorer.Explorer
+module Verify = Droidracer_explorer.Verify
+module Mp = Droidracer_corpus.Music_player
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let f name = Program.field ~cls:"T" name
+
+let two_button_app =
+  Program.app ~name:"TwoButtons" ~main:"Main"
+    ~activities:
+      [ Program.activity "Main"
+          ~ui:
+            [ Program.handler "a" [ Program.Write (f "x") ]
+            ; Program.handler "b" [ Program.Write (f "x") ]
+            ]
+      ]
+    ()
+
+(* {1 Exploration} *)
+
+let test_exploration_count () =
+  (* depth-first over {a, b, BACK}: 1 (empty) + 3 + sequences of length
+     2 — after BACK the app is gone, so BACK-prefixed sequences stop. *)
+  let e = Explorer.explore ~bound:1 two_button_app in
+  check_int "bound 1: empty + three events" 4 (List.length e.Explorer.cases);
+  check_bool "not truncated" false e.Explorer.truncated;
+  let e2 = Explorer.explore ~bound:2 two_button_app in
+  check_bool "bound 2 explores deeper" true
+    (List.length e2.Explorer.cases > List.length e.Explorer.cases)
+
+let test_exploration_prefix_order () =
+  (* depth-first: every case's prefix appears before it *)
+  let e = Explorer.explore ~bound:2 two_button_app in
+  let seen = ref [] in
+  List.iter
+    (fun case ->
+       (match List.rev case.Explorer.events with
+        | [] -> ()
+        | _ :: tail ->
+          let prefix = List.rev tail in
+          check_bool "prefix explored first" true
+            (List.exists
+               (fun events -> events = prefix)
+               !seen));
+       seen := case.Explorer.events :: !seen)
+    e.Explorer.cases
+
+let test_truncation () =
+  let e = Explorer.explore ~bound:3 ~max_cases:5 two_button_app in
+  check_int "budget respected" 5 (List.length e.Explorer.cases);
+  check_bool "truncated" true e.Explorer.truncated
+
+let test_racy_cases_music_player () =
+  let e = Explorer.explore ~options:Mp.options ~bound:1 Mp.app in
+  let racy = Explorer.racy_cases e in
+  check_int "only BACK is racy" 1 (List.length racy);
+  match racy with
+  | [ (case, report) ] ->
+    check_bool "the BACK sequence" true (case.Explorer.events = [ Runtime.Back ]);
+    check_int "two races" 2 (List.length report.Detector.all_races)
+  | _ -> Alcotest.fail "expected one racy case"
+
+let test_exploration_with_intents () =
+  let app =
+    Program.app ~name:"T" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+        ; Program.activity "Viewer" ~intents:[ "VIEW" ]
+        ]
+      ()
+  in
+  let without = Explorer.explore ~bound:1 app in
+  let with_intents = Explorer.explore ~bound:1 ~include_intents:true app in
+  check_int "one more case with intents"
+    (List.length without.Explorer.cases + 1)
+    (List.length with_intents.Explorer.cases);
+  check_bool "the intent sequence was explored" true
+    (List.exists
+       (fun c -> c.Explorer.events = [ Runtime.Intent "VIEW" ])
+       with_intents.Explorer.cases)
+
+(* {1 Verification} *)
+
+let analyze_with_races app events options =
+  let r = Runtime.run ~options app events in
+  let report = Detector.analyze r.Runtime.observed in
+  (r, report)
+
+let test_sites_round_trip () =
+  let r, report = analyze_with_races Mp.app Mp.back_scenario Mp.options in
+  List.iter
+    (fun { Detector.race; _ } ->
+       List.iter
+         (fun (a : Race.access) ->
+            let site =
+              Verify.site_of_access ~thread_names:r.Runtime.thread_names
+                report.Detector.trace a
+            in
+            Alcotest.check (Alcotest.option Alcotest.int) "round trip"
+              (Some a.Race.position)
+              (Verify.find_site ~thread_names:r.Runtime.thread_names
+                 report.Detector.trace site))
+         [ race.Race.first; race.Race.second ])
+    report.Detector.all_races
+
+let test_music_player_races_confirmed () =
+  let r, report = analyze_with_races Mp.app Mp.back_scenario Mp.options in
+  List.iter
+    (fun { Detector.race; _ } ->
+       check_bool "confirmed" true
+         (Verify.is_confirmed
+            (Verify.verify ~options:Mp.options ~app:Mp.app
+               ~events:Mp.back_scenario ~trace:report.Detector.trace
+               ~thread_names:r.Runtime.thread_names race)))
+    report.Detector.all_races
+
+let test_handoff_race_not_confirmed () =
+  (* ad-hoc synchronization: the race is reported but cannot flip *)
+  let app =
+    Program.app ~name:"Handoff" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+            ~on_create:
+              [ Program.Fork
+                  ("recv", [ Program.Handoff_wait (f "flag"); Program.Read (f "x") ])
+              ]
+            ~ui:
+              [ Program.handler "go"
+                  [ Program.Write (f "x"); Program.Handoff_send (f "flag") ]
+              ]
+        ]
+      ()
+  in
+  let events = [ Runtime.Click "go" ] in
+  let r, report = analyze_with_races app events Runtime.default_options in
+  check_bool "races reported" true (report.Detector.all_races <> []);
+  List.iter
+    (fun { Detector.race; _ } ->
+       check_bool "handoff-protected pair never flips" false
+         (Verify.is_confirmed
+            (Verify.verify ~attempts:16 ~app ~events ~trace:report.Detector.trace
+               ~thread_names:r.Runtime.thread_names race)))
+    report.Detector.all_races
+
+let test_co_enabled_flip_by_event_order () =
+  let events = [ Runtime.Click "a"; Runtime.Click "b" ] in
+  let r, report = analyze_with_races two_button_app events Runtime.default_options in
+  check_int "one race" 1 (List.length report.Detector.all_races);
+  List.iter
+    (fun { Detector.race; _ } ->
+       match
+         Verify.verify ~app:two_button_app ~events ~trace:report.Detector.trace
+           ~thread_names:r.Runtime.thread_names race
+       with
+       | Verify.Confirmed w ->
+         check_bool "flip swaps the events" true
+           (w.Verify.w_events = [ Runtime.Click "b"; Runtime.Click "a" ])
+       | Verify.Not_flipped _ -> Alcotest.fail "co-enabled race should flip")
+    report.Detector.all_races
+
+let test_disabled_widget_not_confirmed () =
+  (* the second handler disables the first: not actually co-enabled *)
+  let app =
+    Program.app ~name:"Disabled" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+            ~ui:
+              [ Program.handler "first" [ Program.Write (f "x") ]
+              ; Program.handler "second"
+                  [ Program.Write (f "x"); Program.Disable_ui "first" ]
+              ]
+        ]
+      ()
+  in
+  let events = [ Runtime.Click "first"; Runtime.Click "second" ] in
+  let r, report = analyze_with_races app events Runtime.default_options in
+  check_int "one race" 1 (List.length report.Detector.all_races);
+  List.iter
+    (fun { Detector.race; _ } ->
+       check_bool "cannot flip a disabled widget" false
+         (Verify.is_confirmed
+            (Verify.verify ~attempts:16 ~app ~events ~trace:report.Detector.trace
+               ~thread_names:r.Runtime.thread_names race)))
+    report.Detector.all_races
+
+(* {1 Exhaustive schedule exploration} *)
+
+module Schedule_explorer = Droidracer_explorer.Schedule_explorer
+
+let test_schedule_exploration_tiny () =
+  (* two forked writers: both access orders must appear among the
+     distinct traces, and the tree is small enough to exhaust *)
+  let app =
+    Program.app ~name:"Two" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+            ~on_create:
+              [ Program.Fork ("w1", [ Program.Write (f "x") ])
+              ; Program.Fork ("w2", [ Program.Write (f "x") ])
+              ]
+        ]
+      ()
+  in
+  let e = Schedule_explorer.explore ~max_runs:3000 app [] in
+  check_bool "tree exhausted" true e.Schedule_explorer.exhausted;
+  check_bool "several interleavings" true
+    (List.length e.Schedule_explorer.distinct_traces >= 2);
+  (* both orders of the two writes are realised *)
+  let orders =
+    List.filter_map
+      (fun t ->
+         let tids = ref [] in
+         Trace.iteri
+           (fun _ (ev : Trace.event) ->
+              match ev.Trace.op with
+              | Droidracer_trace.Operation.Write _ ->
+                tids := Droidracer_trace.Ident.Thread_id.to_int ev.Trace.thread :: !tids
+              | _ -> ())
+           t;
+         match List.rev !tids with
+         | [ a; b ] -> Some (a, b)
+         | _ -> None)
+      e.Schedule_explorer.distinct_traces
+    |> List.sort_uniq compare
+  in
+  check_bool "both write orders observed" true (List.length orders >= 2)
+
+let test_exhaustive_verdicts () =
+  (* a real race flips; a handoff-protected pair provably never does *)
+  let racy_app =
+    Program.app ~name:"Racy" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+            ~on_create:
+              [ Program.Write (f "x")
+              ; Program.Fork ("w", [ Program.Write (f "y") ])
+              ; Program.Read (f "y")
+              ]
+        ]
+      ()
+  in
+  let r = Runtime.run racy_app [] in
+  let report = Detector.analyze r.Runtime.observed in
+  List.iter
+    (fun { Detector.race; _ } ->
+       match
+         Schedule_explorer.verify_exhaustively ~max_runs:3000 ~app:racy_app
+           ~events:[] ~trace:report.Detector.trace
+           ~thread_names:r.Runtime.thread_names race
+       with
+       | Schedule_explorer.Flipped _ -> ()
+       | Schedule_explorer.Never_flips n ->
+         Alcotest.failf "real race declared impossible after %d runs" n
+       | Schedule_explorer.Budget_exhausted n ->
+         Alcotest.failf "budget exhausted after %d runs" n)
+    report.Detector.all_races;
+  let handoff_app =
+    Program.app ~name:"Handoff" ~main:"Main"
+      ~activities:
+        [ Program.activity "Main"
+            ~on_create:
+              [ Program.Fork
+                  ("recv", [ Program.Handoff_wait (f "flag") ])
+              ; Program.Handoff_send (f "flag")
+              ]
+        ]
+      ()
+  in
+  let r = Runtime.run handoff_app [] in
+  let report = Detector.analyze r.Runtime.observed in
+  check_int "the flag race is reported" 1 (List.length report.Detector.all_races);
+  List.iter
+    (fun { Detector.race; _ } ->
+       match
+         Schedule_explorer.verify_exhaustively ~max_runs:5000 ~app:handoff_app
+           ~events:[] ~trace:report.Detector.trace
+           ~thread_names:r.Runtime.thread_names race
+       with
+       | Schedule_explorer.Never_flips _ -> ()
+       | Schedule_explorer.Flipped _ ->
+         Alcotest.fail "handoff-protected pair reported as flippable"
+       | Schedule_explorer.Budget_exhausted n ->
+         Alcotest.failf "tree not exhausted after %d runs" n)
+    report.Detector.all_races
+
+let () =
+  Alcotest.run "explorer"
+    [ ( "exploration"
+      , [ Alcotest.test_case "case count" `Quick test_exploration_count
+        ; Alcotest.test_case "depth-first prefixes" `Quick
+            test_exploration_prefix_order
+        ; Alcotest.test_case "truncation" `Quick test_truncation
+        ; Alcotest.test_case "music player racy case" `Quick
+            test_racy_cases_music_player
+        ; Alcotest.test_case "intent exploration" `Quick
+            test_exploration_with_intents
+        ] )
+    ; ( "schedules"
+      , [ Alcotest.test_case "tiny app exhausted" `Quick
+            test_schedule_exploration_tiny
+        ; Alcotest.test_case "exhaustive verdicts" `Quick test_exhaustive_verdicts
+        ] )
+    ; ( "verification"
+      , [ Alcotest.test_case "site round trip" `Quick test_sites_round_trip
+        ; Alcotest.test_case "music player confirmed" `Quick
+            test_music_player_races_confirmed
+        ; Alcotest.test_case "handoff not confirmed" `Quick
+            test_handoff_race_not_confirmed
+        ; Alcotest.test_case "co-enabled flips via event order" `Quick
+            test_co_enabled_flip_by_event_order
+        ; Alcotest.test_case "disabled widget not confirmed" `Quick
+            test_disabled_widget_not_confirmed
+        ] )
+    ]

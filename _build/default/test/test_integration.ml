@@ -1,0 +1,150 @@
+(* End-to-end tests: UI exploration -> trace generation -> offline race
+   detection -> classification -> verification, plus the experiment
+   drivers that regenerate the paper's tables. *)
+
+module Trace = Droidracer_trace.Trace
+module Trace_io = Droidracer_trace.Trace_io
+module Step = Droidracer_semantics.Step
+module Detector = Droidracer_core.Detector
+module Classify = Droidracer_core.Classify
+module Clock_engine = Droidracer_core.Clock_engine
+module Race = Droidracer_core.Race
+module Runtime = Droidracer_appmodel.Runtime
+module Mp = Droidracer_corpus.Music_player
+module Catalog = Droidracer_corpus.Catalog
+module Synthetic = Droidracer_corpus.Synthetic
+module Experiments = Droidracer_report.Experiments
+module Table = Droidracer_report.Table
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+(* {1 The full pipeline on the motivating example} *)
+
+let test_pipeline_via_trace_file () =
+  (* generate -> save -> load -> analyze: the offline workflow of the
+     real tool (Section 5) *)
+  let r = Runtime.run ~options:Mp.options Mp.app Mp.back_scenario in
+  let path = Filename.temp_file "droidracer" ".trace" in
+  Trace_io.save path r.Runtime.observed;
+  (match Trace_io.load path with
+   | Error msg -> Alcotest.failf "reload failed: %s" msg
+   | Ok trace ->
+     let report = Detector.analyze trace in
+     check_int "same two races" 2 (List.length report.Detector.all_races));
+  Sys.remove path
+
+let test_figure_traces_equal_model_traces () =
+  (* the runtime regenerates traces structurally equivalent to the
+     hand-written Figure 3/4 encodings: same race verdicts under the
+     same analysis *)
+  let back = Runtime.run ~options:Mp.options Mp.app Mp.back_scenario in
+  let report = Detector.analyze back.Runtime.observed in
+  let categories =
+    List.map
+      (fun { Detector.category; _ } -> Classify.category_name category)
+      report.Detector.all_races
+  in
+  Alcotest.(check (list string))
+    "same categories as the hand-written Figure 4"
+    [ "multithreaded"; "cross-posted" ] categories
+
+(* {1 Experiment drivers} *)
+
+let aard_run = lazy (Experiments.run_spec (Option.get (Catalog.find "Aard Dictionary")))
+
+let test_table2_aard_exact () =
+  let run = Lazy.force aard_run in
+  let t = Experiments.table2 [ run ] in
+  let rendered = Table.render t in
+  (* fields, threads and async tasks are exact for Aard Dictionary *)
+  check_bool "fields exact" true
+    (Astring_contains.contains rendered "189 / 189");
+  check_bool "async exact" true (Astring_contains.contains rendered "58 / 58")
+
+let test_table3_aard_exact () =
+  let run = Lazy.force aard_run in
+  let t = Experiments.table3 ~verify:true ~attempts:10 [ run ] in
+  let rendered = Table.render t in
+  check_bool "the verified multithreaded race" true
+    (Astring_contains.contains rendered "1(1) / 1(1)")
+
+let test_performance_table () =
+  let run = Lazy.force aard_run in
+  let t = Experiments.performance_table [ run ] in
+  let rendered = Table.render t in
+  check_bool "has a coalescing ratio" true
+    (Astring_contains.contains rendered "%")
+
+let test_environment_model_table () =
+  let t = Experiments.environment_model_table () in
+  let rendered = Table.render t in
+  (* BACK: 2 races with enables, 3 without *)
+  check_bool "figure 4 row" true
+    (Astring_contains.contains rendered "BACK (Figure 4) 2 3")
+
+let test_lifecycle_table () =
+  let rendered = Table.render (Experiments.lifecycle_table ()) in
+  check_bool "stopped row" true
+    (Astring_contains.contains rendered "onRestart, onDestroy")
+
+(* {1 Engines agree on generated corpus traces} *)
+
+let test_clock_engine_subset_on_corpus () =
+  let run = Lazy.force aard_run in
+  let trace =
+    Trace.remove_cancelled
+      run.Experiments.ar_result.Runtime.observed
+  in
+  let graph_races =
+    List.map
+      (fun { Detector.race; _ } ->
+         (race.Race.first.position, race.Race.second.position))
+      run.Experiments.ar_report.Detector.all_races
+  in
+  let clock_races, _ = Clock_engine.detect trace in
+  check_bool "clock races subset of graph races" true
+    (List.for_all
+       (fun (r : Race.t) ->
+          List.mem (r.first.position, r.second.position) graph_races)
+       clock_races)
+
+(* {1 Semantics of every corpus trace} *)
+
+let test_corpus_traces_valid () =
+  List.iter
+    (fun name ->
+       let spec = Option.get (Catalog.find name) in
+       let b = Synthetic.build spec in
+       let r =
+         Runtime.run ~options:b.Synthetic.b_options b.Synthetic.b_app
+           b.Synthetic.b_events
+       in
+       check_bool (name ^ " semantics") true (Step.is_valid r.Runtime.full);
+       check_bool (name ^ " structurally well-formed") true
+         (Result.is_ok (Trace.of_events (Trace.events r.Runtime.observed))))
+    [ "Aard Dictionary"; "Messenger" ]
+
+let () =
+  Alcotest.run "integration"
+    [ ( "pipeline"
+      , [ Alcotest.test_case "trace file round trip" `Quick
+            test_pipeline_via_trace_file
+        ; Alcotest.test_case "figure traces" `Quick
+            test_figure_traces_equal_model_traces
+        ] )
+    ; ( "experiments"
+      , [ Alcotest.test_case "table 2 (Aard)" `Quick test_table2_aard_exact
+        ; Alcotest.test_case "table 3 (Aard)" `Quick test_table3_aard_exact
+        ; Alcotest.test_case "performance table" `Quick test_performance_table
+        ; Alcotest.test_case "environment model table" `Quick
+            test_environment_model_table
+        ; Alcotest.test_case "lifecycle table" `Quick test_lifecycle_table
+        ] )
+    ; ( "engines"
+      , [ Alcotest.test_case "clock subset on corpus" `Quick
+            test_clock_engine_subset_on_corpus
+        ] )
+    ; ( "corpus"
+      , [ Alcotest.test_case "traces valid" `Quick test_corpus_traces_valid ] )
+    ]

@@ -2,15 +2,22 @@
    paper's evaluation (Section 6) and times the analysis pipeline with
    Bechamel micro-benchmarks — one benchmark per regenerated artefact.
 
-   Run with [dune exec bench/main.exe].  Pass [--quick] to restrict the
-   corpus to the open-source applications and skip verification (for
-   CI-style runs). *)
+   Run with [dune exec bench/main.exe].  Flags:
+   - [--quick]     restrict the corpus to the open-source applications
+                   and skip verification (for CI-style runs);
+   - [--jobs N]    analysis domains (default: the hardware's
+                   recommended domain count); every table is identical
+                   for every N — only the wall times change;
+   - [--json PATH] also write a machine-readable record of per-stage
+                   wall times (the CI smoke job archives it to track
+                   the performance trajectory across PRs). *)
 
 module Trace = Droidracer_trace.Trace
 module Graph = Droidracer_core.Graph
 module Happens_before = Droidracer_core.Happens_before
 module Detector = Droidracer_core.Detector
 module Clock_engine = Droidracer_core.Clock_engine
+module Par_pool = Droidracer_core.Par_pool
 module Runtime = Droidracer_appmodel.Runtime
 module Music_player = Droidracer_corpus.Music_player
 module Catalog = Droidracer_corpus.Catalog
@@ -20,6 +27,104 @@ module Table = Droidracer_report.Table
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* {1 Command line} *)
+
+type options =
+  { quick : bool
+  ; jobs : int
+  ; json : string option
+  }
+
+let usage () =
+  prerr_endline "usage: bench [--quick] [--jobs N] [--json PATH]";
+  exit 2
+
+let parse_options () =
+  let rec go i acc =
+    if i >= Array.length Sys.argv then acc
+    else
+      match Sys.argv.(i) with
+      | "--quick" -> go (i + 1) { acc with quick = true }
+      | "--jobs" | "-j" when i + 1 < Array.length Sys.argv ->
+        (match int_of_string_opt Sys.argv.(i + 1) with
+         | Some jobs when jobs >= 1 -> go (i + 2) { acc with jobs }
+         | Some _ | None -> usage ())
+      | "--json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with json = Some Sys.argv.(i + 1) }
+      | _ -> usage ()
+  in
+  go 1 { quick = false; jobs = Par_pool.default_jobs (); json = None }
+
+(* {1 Wall-clock stage timings}
+
+   [Sys.time] reports CPU time summed over every domain, which
+   misreports (often inverts) parallel speedups; stages are timed with
+   the wall clock instead, and recorded for the JSON report. *)
+
+let stages : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  stages := (name, dt) :: !stages;
+  (v, dt)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path opts (runs : Experiments.app_run list) =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot write --json file: %s\n" msg;
+      exit 2
+  in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"droidracer-bench/1\",\n";
+  out "  \"jobs\": %d,\n" opts.jobs;
+  out "  \"quick\": %b,\n" opts.quick;
+  out "  \"corpus_apps\": %d,\n" (List.length runs);
+  out "  \"stages\": [\n";
+  let stages = List.rev !stages in
+  List.iteri
+    (fun i (name, dt) ->
+       out "    {\"name\": \"%s\", \"wall_seconds\": %.6f}%s\n"
+         (json_escape name) dt
+         (if i = List.length stages - 1 then "" else ","))
+    stages;
+  out "  ],\n";
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i run ->
+       let r = run.Experiments.ar_report in
+       let s = run.Experiments.ar_built.Synthetic.b_spec in
+       out
+         "    {\"name\": \"%s\", \"nodes\": %d, \"hb_edges\": %d, \
+          \"passes\": %d, \"races\": %d, \"distinct_races\": %d, \
+          \"analysis_wall_seconds\": %.6f}%s\n"
+         (json_escape s.Synthetic.s_name)
+         r.Detector.nodes r.Detector.hb_edges r.Detector.fixpoint_passes
+         (List.length r.Detector.all_races)
+         (List.length r.Detector.distinct_races)
+         r.Detector.elapsed_seconds
+         (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* {1 Bechamel micro-benchmarks} *)
 
@@ -89,35 +194,45 @@ let microbenchmarks (runs : Experiments.app_run list) =
   Table.print table
 
 let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let opts = parse_options () in
+  let quick = opts.quick in
   let specs = if quick then Catalog.open_source else Catalog.all in
   section "DroidRacer reproduction: evaluation harness (PLDI 2014, Section 6)";
   Printf.printf
-    "Corpus: %d applications%s; every table below shows paper / measured.\n"
+    "Corpus: %d applications%s; %d analysis domain(s); every table below \
+     shows paper / measured.\n"
     (List.length specs)
-    (if quick then " (open source only: --quick)" else "");
+    (if quick then " (open source only: --quick)" else "")
+    opts.jobs;
   section "Motivating example (Figures 1-4)";
   Table.print (Experiments.music_player_summary ());
   section "Figure 8: activity lifecycle";
   Table.print (Experiments.lifecycle_table ());
   section "Running the corpus";
-  let t0 = Sys.time () in
-  let runs = Experiments.run_catalog ~specs () in
-  Printf.printf "generated and analysed %d traces in %.1fs CPU\n"
-    (List.length runs) (Sys.time () -. t0);
+  let runs, corpus_dt =
+    timed "corpus_run_and_analysis" (fun () ->
+      Experiments.run_catalog ~jobs:opts.jobs ~specs ())
+  in
+  Printf.printf "generated and analysed %d traces in %.1fs wall (%d jobs)\n"
+    (List.length runs) corpus_dt opts.jobs;
   section "Table 2";
   Table.print (Experiments.table2 runs);
   section "Table 3";
-  let t0 = Sys.time () in
-  Table.print (Experiments.table3 ~verify:(not quick) runs);
-  Printf.printf "\n(race verification by schedule perturbation took %.1fs CPU)\n"
-    (Sys.time () -. t0);
+  let (), verify_dt =
+    timed "table3_verification" (fun () ->
+      Table.print (Experiments.table3 ~verify:(not quick) runs))
+  in
+  Printf.printf
+    "\n(race verification by schedule perturbation took %.1fs wall)\n"
+    verify_dt;
   section "Performance (Section 6): coalescing and analysis cost";
   Table.print (Experiments.performance_table runs);
   section "Ablation: specialized happens-before relations";
-  Table.print (Experiments.baseline_table runs);
+  ignore (timed "baseline_ablation" (fun () ->
+    Table.print (Experiments.baseline_table runs)));
   section "Ablation: graph engine vs vector-clock engine";
-  Table.print (Experiments.engine_table runs);
+  ignore (timed "engine_ablation" (fun () ->
+    Table.print (Experiments.engine_table runs)));
   section "Ablation: modelling the runtime environment (enables)";
   Table.print (Experiments.environment_model_table ());
   section "Extension: the deferred front-of-queue rule";
@@ -125,5 +240,6 @@ let () =
   section "Extension: race coverage [24]";
   Table.print (Experiments.coverage_table runs);
   section "Micro-benchmarks";
-  microbenchmarks runs;
-  print_newline ()
+  ignore (timed "microbenchmarks" (fun () -> microbenchmarks runs));
+  print_newline ();
+  Option.iter (fun path -> write_json path opts runs) opts.json

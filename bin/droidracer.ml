@@ -108,6 +108,17 @@ let seed_arg =
   let doc = "Scheduling seed (deterministic round-robin when omitted)." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the analysis (defaults to the hardware's \
+     recommended domain count).  Reports are bit-identical for every \
+     value; only the wall time changes."
+  in
+  Arg.(
+    value
+    & opt int (Droidracer_core.Par_pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let events_arg =
   let doc =
     "UI events to inject, e.g. $(b,click:onPlayClick), $(b,back), \
@@ -199,7 +210,7 @@ let analyze_cmd =
          & info [ "coverage" ]
              ~doc:"Group races by race coverage and print root races only.")
   in
-  let run file no_coalesce no_enables show_all coverage =
+  let run file no_coalesce no_enables show_all coverage jobs =
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
     | Ok trace ->
@@ -209,7 +220,7 @@ let analyze_cmd =
             { Happens_before.default with enable_rule = not no_enables }
         }
       in
-      let report = Detector.analyze ~config trace in
+      let report = Detector.analyze ~config ~jobs trace in
       Format.printf "%a@." Detector.pp_report report;
       if show_all then
         List.iter
@@ -217,7 +228,7 @@ let analyze_cmd =
              Format.printf "[%a] %a@." Classify.pp_category category Race.pp race)
           report.Detector.all_races;
       if coverage then begin
-        let hb = Detector.relation ~config trace in
+        let hb = Detector.relation ~config ~jobs trace in
         let races = List.map (fun c -> c.Detector.race) report.Detector.all_races in
         let groups = Race_coverage.group ~hb races in
         Format.printf "race coverage: %d root(s) for %d race(s)@."
@@ -227,7 +238,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
-    Term.(const run $ file $ no_coalesce $ no_enables $ show_all $ coverage)
+    Term.(
+      const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
+      $ jobs_arg)
 
 let trace_cmd =
   let output =
@@ -264,9 +277,9 @@ let detect_cmd =
              ~doc:
                "For each distinct race, print a minimal sub-trace that                 still exhibits it (delta debugging).")
   in
-  let run name seed events minimize_races =
+  let run name seed events minimize_races jobs =
     let _, _, _, result = run_app name seed events in
-    let report = Detector.analyze result.Runtime.observed in
+    let report = Detector.analyze ~jobs result.Runtime.observed in
     Format.printf "%a@." Detector.pp_report report;
     if minimize_races then
       List.iter
@@ -286,7 +299,7 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Run an application and report the data races of its trace.")
-    Term.(const run $ app_arg $ seed_arg $ events_arg $ minimize)
+    Term.(const run $ app_arg $ seed_arg $ events_arg $ minimize $ jobs_arg)
 
 let explore_cmd =
   let bound =
@@ -342,9 +355,9 @@ let verify_cmd =
                 100 replays) instead of sampling; gives a definite verdict \
                 on small applications.")
   in
-  let run name seed events attempts exhaustive =
+  let run name seed events attempts exhaustive jobs =
     let reg, options, events, result = run_app name seed events in
-    let report = Detector.analyze result.Runtime.observed in
+    let report = Detector.analyze ~jobs result.Runtime.observed in
     if report.Detector.all_races = [] then print_endline "no races detected"
     else
       List.iter
@@ -386,7 +399,9 @@ let verify_cmd =
        ~doc:
          "Detect races, then validate each by searching for an alternate \
           ordering of the racy accesses.")
-    Term.(const run $ app_arg $ seed_arg $ events_arg $ attempts $ exhaustive)
+    Term.(
+      const run $ app_arg $ seed_arg $ events_arg $ attempts $ exhaustive
+      $ jobs_arg)
 
 let corpus_cmd =
   let verify =
@@ -398,7 +413,7 @@ let corpus_cmd =
     Arg.(value & opt (some string) None
          & info [ "app" ] ~docv:"NAME" ~doc:"Restrict to one application.")
   in
-  let run verify only =
+  let run verify only jobs =
     let specs =
       match only with
       | None -> Catalog.all
@@ -407,7 +422,7 @@ let corpus_cmd =
          | Some s -> [ s ]
          | None -> or_die (Error (Printf.sprintf "unknown corpus app %S" name)))
     in
-    let runs = Experiments.run_catalog ~specs () in
+    let runs = Experiments.run_catalog ~jobs ~specs () in
     Table.print (Experiments.table2 runs);
     print_newline ();
     Table.print (Experiments.table3 ~verify runs);
@@ -417,7 +432,7 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"Regenerate Tables 2 and 3 over the paper's application corpus.")
-    Term.(const run $ verify $ only)
+    Term.(const run $ verify $ only $ jobs_arg)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in

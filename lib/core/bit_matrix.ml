@@ -37,10 +37,18 @@ let count m =
     (fun acc row -> Array.fold_left (fun acc w -> acc + popcount w) acc row)
     0 m.rows
 
-let or_row m ~dst ~src =
-  let d = m.rows.(dst) and s = m.rows.(src) in
+let copy m = { m with rows = Array.map Array.copy m.rows }
+
+let blit ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Bit_matrix.blit: size mismatch";
+  Array.iteri
+    (fun i row -> Array.blit row 0 dst.rows.(i) 0 src.words)
+    src.rows
+
+let or_row_between ~read ~write ~dst ~src =
+  let d = write.rows.(dst) and s = read.rows.(src) in
   let changed = ref false in
-  for w = 0 to m.words - 1 do
+  for w = 0 to write.words - 1 do
     let v = d.(w) lor s.(w) in
     if v <> d.(w) then begin
       d.(w) <- v;
@@ -48,6 +56,8 @@ let or_row m ~dst ~src =
     end
   done;
   !changed
+
+let or_row m ~dst ~src = or_row_between ~read:m ~write:m ~dst ~src
 
 module Mask = struct
   type t = { words : int array }
@@ -77,11 +87,11 @@ let or_row_masked m ~dst ~src ~mask =
   done;
   !changed
 
-let or_row_masked_compl m ~dst ~src ~mask =
-  let d = m.rows.(dst) and s = m.rows.(src) in
+let or_row_between_masked_compl ~read ~write ~dst ~src ~mask =
+  let d = write.rows.(dst) and s = read.rows.(src) in
   let mw = mask.Mask.words in
   let changed = ref false in
-  for w = 0 to m.words - 1 do
+  for w = 0 to write.words - 1 do
     let v = d.(w) lor (s.(w) land lnot mw.(w)) in
     if v <> d.(w) then begin
       d.(w) <- v;
@@ -89,6 +99,9 @@ let or_row_masked_compl m ~dst ~src ~mask =
     end
   done;
   !changed
+
+let or_row_masked_compl m ~dst ~src ~mask =
+  or_row_between_masked_compl ~read:m ~write:m ~dst ~src ~mask
 
 let iter_row m i f =
   let row = m.rows.(i) in

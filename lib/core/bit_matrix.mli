@@ -19,9 +19,25 @@ val set : t -> int -> int -> unit
 val count : t -> int
 (** Number of true entries. *)
 
+val copy : t -> t
+(** An independent copy (used to snapshot the matrix between parallel
+    fixpoint passes). *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrites [dst] with the contents of [src]; the matrices must have
+    the same size. *)
+
 val or_row : t -> dst:int -> src:int -> bool
 (** [or_row m ~dst ~src] ORs row [src] into row [dst]; true iff row
     [dst] changed. *)
+
+val or_row_between : read:t -> write:t -> dst:int -> src:int -> bool
+(** [or_row_between ~read ~write ~dst ~src] ORs row [src] of [read]
+    into row [dst] of [write]; true iff the destination row changed.
+    The block-parallel closure reads rows of other blocks from a
+    frozen snapshot while writing its own rows of the live matrix, so
+    every domain sees the same pass semantics regardless of
+    scheduling. *)
 
 (** Bit masks over column indices. *)
 module Mask : sig
@@ -39,6 +55,10 @@ val or_row_masked : t -> dst:int -> src:int -> mask:Mask.t -> bool
 
 val or_row_masked_compl : t -> dst:int -> src:int -> mask:Mask.t -> bool
 (** ORs [src ∧ ¬mask] into [dst]; true iff [dst] changed. *)
+
+val or_row_between_masked_compl :
+  read:t -> write:t -> dst:int -> src:int -> mask:Mask.t -> bool
+(** {!or_row_between} restricted to the complement of [mask]. *)
 
 val iter_row : t -> int -> (int -> unit) -> unit
 (** Calls the function on every set column of the row, ascending. *)

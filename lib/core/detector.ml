@@ -29,10 +29,10 @@ type report =
   ; elapsed_seconds : float
   }
 
-let relation ?(config = default_config) trace =
+let relation ?(config = default_config) ?(jobs = 1) trace =
   let trace = Trace.remove_cancelled trace in
   let graph = Graph.build ~coalesce:config.coalesce trace in
-  Happens_before.compute ~config:config.hb graph
+  Happens_before.compute ~config:config.hb ~jobs graph
 
 let dedup_distinct classified =
   let seen = Hashtbl.create 16 in
@@ -49,12 +49,14 @@ let dedup_distinct classified =
        end)
     classified
 
-let analyze ?(config = default_config) trace =
-  let started = Sys.time () in
+let analyze ?(config = default_config) ?(jobs = 1) trace =
+  (* Wall-clock, not [Sys.time]: CPU time sums over domains and would
+     hide (or invert) any parallel speedup. *)
+  let started = Unix.gettimeofday () in
   let trace = Trace.remove_cancelled trace in
   let graph = Graph.build ~coalesce:config.coalesce trace in
-  let hb = Happens_before.compute ~config:config.hb graph in
-  let races = Race.detect trace ~hb:(Happens_before.hb hb) in
+  let hb = Happens_before.compute ~config:config.hb ~jobs graph in
+  let races = Race.detect ~jobs trace ~hb:(Happens_before.hb hb) in
   let all_races =
     List.map
       (fun race ->
@@ -74,7 +76,7 @@ let analyze ?(config = default_config) trace =
   ; uncoalesced_nodes = Trace.length trace
   ; hb_edges = Happens_before.edge_count hb
   ; fixpoint_passes = Happens_before.passes hb
-  ; elapsed_seconds = Sys.time () -. started
+  ; elapsed_seconds = Unix.gettimeofday () -. started
   }
 
 let category_order =

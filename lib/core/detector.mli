@@ -43,12 +43,17 @@ type report =
   ; uncoalesced_nodes : int  (** = trace length *)
   ; hb_edges : int
   ; fixpoint_passes : int
-  ; elapsed_seconds : float
+  ; elapsed_seconds : float  (** wall-clock (monotonic across domains) *)
   }
 
-val analyze : ?config:config -> Trace.t -> report
+val analyze : ?config:config -> ?jobs:int -> Trace.t -> report
+(** With [jobs > 1] (default 1) the happens-before fixpoint and the
+    conflicting-pair scan run on a {!Par_pool} of domains.  Except for
+    [elapsed_seconds], the report is bit-identical for every [jobs]
+    value — determinism is an invariant of the parallel engine, not
+    best-effort (see {!Happens_before.compute} and {!Race.detect}). *)
 
-val relation : ?config:config -> Trace.t -> Happens_before.t
+val relation : ?config:config -> ?jobs:int -> Trace.t -> Happens_before.t
 (** Just the happens-before relation of the (cancellation-filtered)
     trace, for callers that want to query orderings directly. *)
 

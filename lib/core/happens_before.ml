@@ -65,7 +65,12 @@ let fifo_flavours_ok f1 f2 =
   | Front, (Immediate | Delayed _ | Front) -> false
   | (Immediate | Delayed _), Front -> false
 
-let compute ?(config = default) g =
+(* Rows per closure block.  A constant — never derived from the jobs
+   count — so the per-pass semantics, the resulting matrix and the pass
+   count are identical for every [jobs] value. *)
+let closure_block_rows = 64
+
+let compute ?(config = default) ?(jobs = 1) g =
   let cfg = config in
   let trace = Graph.trace g in
   let n = Graph.node_count g in
@@ -292,31 +297,49 @@ let compute ?(config = default) g =
         entries_by_target;
     !changed
   in
-  let closure_pass () =
+  (* The closure is block-synchronous: each pass snapshots the matrix,
+     then every block of [closure_block_rows] rows is brought up to
+     date independently — in-block rows are read live (Gauss–Seidel
+     within the block, rows high to low as before), rows of other
+     blocks are read from the snapshot.  A block only ever writes its
+     own rows, so blocks can run on separate domains with no shared
+     writes, and because the partition is fixed (never derived from
+     [jobs]) a pass computes the same matrix for every jobs value: the
+     fixpoint — and even the pass count — is bit-identical whether the
+     blocks run sequentially or in parallel. *)
+  let snapshot = Bit_matrix.copy m in
+  let blocks = Par_pool.ranges ~chunk:closure_block_rows n in
+  let closure_block (lo, hi) =
     let changed = ref false in
-    for i = n - 1 downto 0 do
+    for i = hi - 1 downto lo do
       let succs = ref [] in
       Bit_matrix.iter_row m i (fun k -> succs := k :: !succs);
       let ti = Graph.thread_index g (Graph.thread_of_node g i) in
       List.iter
         (fun k ->
            if k <> i then begin
+             let read = if k >= lo && k < hi then m else snapshot in
              let c =
                if not cfg.restricted_transitivity then
-                 Bit_matrix.or_row m ~dst:i ~src:k
+                 Bit_matrix.or_row_between ~read ~write:m ~dst:i ~src:k
                else if
                  Thread_id.equal (Graph.thread_of_node g k)
                    (Graph.thread_of_node g i)
-               then Bit_matrix.or_row m ~dst:i ~src:k
+               then Bit_matrix.or_row_between ~read ~write:m ~dst:i ~src:k
                else
-                 Bit_matrix.or_row_masked_compl m ~dst:i ~src:k
-                   ~mask:thread_masks.(ti)
+                 Bit_matrix.or_row_between_masked_compl ~read ~write:m ~dst:i
+                   ~src:k ~mask:thread_masks.(ti)
              in
              if c then changed := true
            end)
         (List.rev !succs)
     done;
     !changed
+  in
+  let closure_pass () =
+    Bit_matrix.blit ~src:m ~dst:snapshot;
+    let changes = Par_pool.parallel_map ~jobs closure_block blocks in
+    List.exists Fun.id changes
   in
   let passes = ref 0 in
   let rec fixpoint () =

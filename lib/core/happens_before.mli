@@ -60,7 +60,15 @@ val default : config
 
 type t
 
-val compute : ?config:config -> Graph.t -> t
+val compute : ?config:config -> ?jobs:int -> Graph.t -> t
+(** [compute ?config ?jobs g] computes ⪯ to a fixpoint.
+
+    With [jobs > 1] (default 1) each closure pass distributes disjoint
+    row blocks over a {!Par_pool} of domains.  The pass semantics is
+    block-synchronous — a block reads other blocks' rows from a
+    snapshot taken at the start of the pass — and the block partition
+    is fixed, so the computed relation (and the pass count) is
+    bit-identical for every [jobs] value. *)
 
 val graph : t -> Graph.t
 

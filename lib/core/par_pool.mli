@@ -1,0 +1,36 @@
+(** A fixed-size pool of OCaml 5 domains for the analysis hot paths.
+
+    The pool is a process-wide set of worker domains (at most
+    [jobs - 1] of them; the calling domain always participates) fed by
+    a shared task queue.  Workers are spawned lazily on the first
+    parallel call, reused by every subsequent call, and joined by an
+    [at_exit] handler, so client code never manages domain lifetimes.
+
+    Determinism is part of the contract: {!parallel_map} returns
+    results in input order and raises the exception of the
+    lowest-indexed failing element, whatever interleaving the domains
+    actually ran.  Callers are responsible for handing it functions
+    whose per-element work is independent (the analysis pipeline
+    arranges disjoint row blocks for exactly this reason). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the default for every
+    [--jobs] flag. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] is [List.map f xs] computed by up to
+    [jobs] domains (the caller plus at most [jobs - 1] pool workers).
+
+    - Results preserve input order.
+    - If one or more applications raise, the exception of the
+      lowest-indexed failing element is re-raised (with its backtrace)
+      after every element has finished, so no work is left running.
+    - [jobs <= 1], the empty list and singleton lists take the
+      sequential path and never touch the pool. *)
+
+val ranges : chunk:int -> int -> (int * int) list
+(** [ranges ~chunk n] splits [0..n-1] into half-open [(lo, hi)]
+    intervals of [chunk] indices (the last may be shorter).  The
+    partition depends only on [chunk] and [n] — never on the number of
+    jobs — which is what lets the block-parallel fixpoint produce
+    bit-identical matrices for every jobs value. *)

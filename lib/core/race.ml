@@ -47,7 +47,7 @@ let accesses trace =
     trace;
   List.rev !out
 
-let detect trace ~hb =
+let detect ?(jobs = 1) trace ~hb =
   let by_location = Hashtbl.create 64 in
   List.iter
     (fun a ->
@@ -56,28 +56,46 @@ let detect trace ~hb =
        | Some l -> l := a :: !l
        | None -> Hashtbl.add by_location key (ref [ a ]))
     (accesses trace);
-  let races = ref [] in
-  Hashtbl.iter
-    (fun _ accs ->
-       (* in trace order *)
-       let accs = List.rev !accs in
-       let rec pairs = function
-         | [] -> ()
-         | a :: rest ->
-           List.iter
-             (fun b ->
-                if (a.is_write || b.is_write)
-                   && not (hb a.position b.position)
-                   && not (hb b.position a.position)
-                then races := { first = a; second = b } :: !races)
-             rest;
-           pairs rest
-       in
-       pairs accs)
-    by_location;
-  List.sort
-    (fun r1 r2 ->
-       match Int.compare r1.first.position r2.first.position with
-       | 0 -> Int.compare r1.second.position r2.second.position
-       | c -> c)
+  let groups =
+    Hashtbl.fold
+      (fun key accs acc ->
+         (* in trace order *)
+         (key, Array.of_list (List.rev !accs)) :: acc)
+      by_location []
+    |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+  in
+  (* The scan over a location's accesses is quadratic, so one hot
+     location would serialise a per-location fan-out; chunk the
+     first-access index range instead.  The chunk size depends on
+     [jobs], which is fine: the final sort makes the output independent
+     of how the work was split. *)
+  let work =
+    List.concat_map
+      (fun (_, arr) ->
+         let len = Array.length arr in
+         let chunk =
+           if jobs <= 1 then len
+           else max 16 ((len + (4 * jobs) - 1) / (4 * jobs))
+         in
+         List.map (fun (lo, hi) -> (arr, lo, hi)) (Par_pool.ranges ~chunk len))
+      groups
+  in
+  let scan (arr, lo, hi) =
+    let races = ref [] in
+    for i = lo to hi - 1 do
+      let a = arr.(i) in
+      for j = i + 1 to Array.length arr - 1 do
+        let b = arr.(j) in
+        if (a.is_write || b.is_write)
+           && not (hb a.position b.position)
+           && not (hb b.position a.position)
+        then races := { first = a; second = b } :: !races
+      done
+    done;
     !races
+  in
+  List.concat (Par_pool.parallel_map ~jobs scan work)
+  |> List.sort (fun r1 r2 ->
+    match Int.compare r1.first.position r2.first.position with
+    | 0 -> Int.compare r1.second.position r2.second.position
+    | c -> c)

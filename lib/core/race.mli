@@ -29,7 +29,11 @@ val pp : Format.formatter -> t -> unit
 val accesses : Trace.t -> access list
 (** All read/write operations of the trace, in trace order. *)
 
-val detect : Trace.t -> hb:(int -> int -> bool) -> t list
+val detect : ?jobs:int -> Trace.t -> hb:(int -> int -> bool) -> t list
 (** All conflicting pairs [(i, j)], [i < j], with neither [hb i j] nor
     [hb j i], in lexicographic order of positions.  [hb] is any
-    happens-before oracle over trace positions. *)
+    happens-before oracle over trace positions; it must be safe to
+    query from several domains (the bit-matrix relation is, being
+    read-only by then).  With [jobs > 1] the quadratic scan is chunked
+    over a {!Par_pool}; the result list is identical for every [jobs]
+    value. *)

@@ -16,8 +16,12 @@ val run_spec : Synthetic.spec -> app_run
 (** Builds (with calibration), runs the representative test and analyses
     its observed trace. *)
 
-val run_catalog : ?specs:Synthetic.spec list -> unit -> app_run list
-(** All fifteen applications by default. *)
+val run_catalog :
+  ?jobs:int -> ?specs:Synthetic.spec list -> unit -> app_run list
+(** All fifteen applications by default.  With [jobs > 1] (default 1)
+    applications run on a {!Par_pool}, one domain per application; the
+    returned runs are in spec order and identical (modulo wall-clock
+    timings) for every [jobs] value. *)
 
 val table2 : app_run list -> Table.t
 (** Table 2: per-application trace statistics, paper vs measured.

@@ -10,7 +10,12 @@
                    for every N — only the wall times change;
    - [--json PATH] also write a machine-readable record of per-stage
                    wall times (the CI smoke job archives it to track
-                   the performance trajectory across PRs). *)
+                   the performance trajectory across PRs);
+   - [--trace-out PATH]   enable telemetry and write a Chrome
+                   trace_event JSON of the whole run (one track per
+                   analysis domain; chrome://tracing / Perfetto);
+   - [--metrics-out PATH] enable telemetry and write the counters,
+                   histograms and per-domain statistics as JSON. *)
 
 module Trace = Droidracer_trace.Trace
 module Graph = Droidracer_core.Graph
@@ -24,6 +29,7 @@ module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
 module Experiments = Droidracer_report.Experiments
 module Table = Droidracer_report.Table
+module Obs = Droidracer_obs.Obs
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -34,10 +40,14 @@ type options =
   { quick : bool
   ; jobs : int
   ; json : string option
+  ; trace_out : string option
+  ; metrics_out : string option
   }
 
 let usage () =
-  prerr_endline "usage: bench [--quick] [--jobs N] [--json PATH]";
+  prerr_endline
+    "usage: bench [--quick] [--jobs N] [--json PATH] [--trace-out PATH] \
+     [--metrics-out PATH]";
   exit 2
 
 let parse_options () =
@@ -52,9 +62,19 @@ let parse_options () =
          | Some _ | None -> usage ())
       | "--json" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with json = Some Sys.argv.(i + 1) }
+      | "--trace-out" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with trace_out = Some Sys.argv.(i + 1) }
+      | "--metrics-out" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with metrics_out = Some Sys.argv.(i + 1) }
       | _ -> usage ()
   in
-  go 1 { quick = false; jobs = Par_pool.default_jobs (); json = None }
+  go 1
+    { quick = false
+    ; jobs = Par_pool.default_jobs ()
+    ; json = None
+    ; trace_out = None
+    ; metrics_out = None
+    }
 
 (* {1 Wall-clock stage timings}
 
@@ -93,10 +113,19 @@ let write_json path opts (runs : Experiments.app_run list) =
       exit 2
   in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"droidracer-bench/1\",\n";
+  (* Self-describing, hostname-free metadata: enough to interpret the
+     numbers of any BENCH_*.json in isolation, without identifying the
+     machine that produced them. *)
+  out "{\n  \"schema\": \"droidracer-bench/2\",\n";
   out "  \"jobs\": %d,\n" opts.jobs;
   out "  \"quick\": %b,\n" opts.quick;
   out "  \"corpus_apps\": %d,\n" (List.length runs);
+  out "  \"metadata\": {\n";
+  out "    \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
+  out "    \"word_size\": %d,\n" Sys.word_size;
+  out "    \"recommended_domains\": %d,\n" (Par_pool.default_jobs ());
+  out "    \"telemetry\": %b\n" (Obs.enabled ());
+  out "  },\n";
   out "  \"stages\": [\n";
   let stages = List.rev !stages in
   List.iteri
@@ -114,12 +143,15 @@ let write_json path opts (runs : Experiments.app_run list) =
        out
          "    {\"name\": \"%s\", \"nodes\": %d, \"hb_edges\": %d, \
           \"passes\": %d, \"races\": %d, \"distinct_races\": %d, \
-          \"analysis_wall_seconds\": %.6f}%s\n"
+          \"analysis_wall_seconds\": %.6f, \"hb_wall_seconds\": %.6f, \
+          \"detect_wall_seconds\": %.6f}%s\n"
          (json_escape s.Synthetic.s_name)
          r.Detector.nodes r.Detector.hb_edges r.Detector.fixpoint_passes
          (List.length r.Detector.all_races)
          (List.length r.Detector.distinct_races)
          r.Detector.elapsed_seconds
+         (Detector.phase_seconds r "happens_before")
+         (Detector.phase_seconds r "race_detect")
          (if i = List.length runs - 1 then "" else ","))
     runs;
   out "  ]\n}\n";
@@ -195,6 +227,10 @@ let microbenchmarks (runs : Experiments.app_run list) =
 
 let () =
   let opts = parse_options () in
+  if opts.trace_out <> None || opts.metrics_out <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end;
   let quick = opts.quick in
   let specs = if quick then Catalog.open_source else Catalog.all in
   section "DroidRacer reproduction: evaluation harness (PLDI 2014, Section 6)";
@@ -242,4 +278,14 @@ let () =
   section "Micro-benchmarks";
   ignore (timed "microbenchmarks" (fun () -> microbenchmarks runs));
   print_newline ();
-  Option.iter (fun path -> write_json path opts runs) opts.json
+  Option.iter (fun path -> write_json path opts runs) opts.json;
+  Option.iter
+    (fun path ->
+       Obs.write_chrome_trace path;
+       Printf.printf "wrote %s\n" path)
+    opts.trace_out;
+  Option.iter
+    (fun path ->
+       Obs.write_metrics_json path;
+       Printf.printf "wrote %s\n" path)
+    opts.metrics_out

@@ -27,6 +27,7 @@ module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
 module Experiments = Droidracer_report.Experiments
 module Table = Droidracer_report.Table
+module Obs = Droidracer_obs.Obs
 open Cmdliner
 
 (* {1 The application registry} *)
@@ -119,6 +120,74 @@ let jobs_arg =
     & opt int (Droidracer_core.Par_pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* {2 Telemetry}
+
+   Shared by every subcommand that runs the analysis pipeline.  Any of
+   the three flags switches the telemetry subsystem on for the whole
+   run; with none of them the instrumentation is a no-op and the
+   analysis output is bit-identical to an uninstrumented build. *)
+
+type telemetry =
+  { trace_out : string option
+  ; metrics : bool
+  ; metrics_out : string option
+  }
+
+let telemetry_term =
+  let trace_out =
+    let doc =
+      "Write a Chrome trace_event JSON of the run's spans (one track \
+       per analysis domain) to $(docv); load it in chrome://tracing or \
+       https://ui.perfetto.dev."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "After the run, print the telemetry summary: the span tree with \
+       call counts and total times, counters, and histograms."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let metrics_out =
+    let doc = "Write the run's metrics (counters, gauges, histograms, \
+               per-domain statistics) as JSON to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  Term.(
+    const (fun trace_out metrics metrics_out ->
+      { trace_out; metrics; metrics_out })
+    $ trace_out $ metrics $ metrics_out)
+
+let with_telemetry t f =
+  let active =
+    t.trace_out <> None || t.metrics || t.metrics_out <> None
+  in
+  if active then begin
+    Obs.enable ();
+    Obs.reset ()
+  end;
+  let v = f () in
+  if active then begin
+    Option.iter
+      (fun path ->
+         Obs.write_chrome_trace path;
+         Printf.eprintf "wrote Chrome trace to %s\n%!" path)
+      t.trace_out;
+    Option.iter
+      (fun path ->
+         Obs.write_metrics_json path;
+         Printf.eprintf "wrote metrics JSON to %s\n%!" path)
+      t.metrics_out;
+    if t.metrics then begin
+      print_newline ();
+      print_string (Obs.summary_string ())
+    end
+  end;
+  v
+
 let events_arg =
   let doc =
     "UI events to inject, e.g. $(b,click:onPlayClick), $(b,back), \
@@ -210,7 +279,8 @@ let analyze_cmd =
          & info [ "coverage" ]
              ~doc:"Group races by race coverage and print root races only.")
   in
-  let run file no_coalesce no_enables show_all coverage jobs =
+  let run file no_coalesce no_enables show_all coverage jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
     | Ok trace ->
@@ -240,7 +310,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
     Term.(
       const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
-      $ jobs_arg)
+      $ jobs_arg $ telemetry_term)
 
 let trace_cmd =
   let output =
@@ -277,7 +347,8 @@ let detect_cmd =
              ~doc:
                "For each distinct race, print a minimal sub-trace that                 still exhibits it (delta debugging).")
   in
-  let run name seed events minimize_races jobs =
+  let run name seed events minimize_races jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
     let _, _, _, result = run_app name seed events in
     let report = Detector.analyze ~jobs result.Runtime.observed in
     Format.printf "%a@." Detector.pp_report report;
@@ -299,7 +370,9 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Run an application and report the data races of its trace.")
-    Term.(const run $ app_arg $ seed_arg $ events_arg $ minimize $ jobs_arg)
+    Term.(
+      const run $ app_arg $ seed_arg $ events_arg $ minimize $ jobs_arg
+      $ telemetry_term)
 
 let explore_cmd =
   let bound =
@@ -355,7 +428,8 @@ let verify_cmd =
                 100 replays) instead of sampling; gives a definite verdict \
                 on small applications.")
   in
-  let run name seed events attempts exhaustive jobs =
+  let run name seed events attempts exhaustive jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
     let reg, options, events, result = run_app name seed events in
     let report = Detector.analyze ~jobs result.Runtime.observed in
     if report.Detector.all_races = [] then print_endline "no races detected"
@@ -401,7 +475,7 @@ let verify_cmd =
           ordering of the racy accesses.")
     Term.(
       const run $ app_arg $ seed_arg $ events_arg $ attempts $ exhaustive
-      $ jobs_arg)
+      $ jobs_arg $ telemetry_term)
 
 let corpus_cmd =
   let verify =
@@ -413,7 +487,8 @@ let corpus_cmd =
     Arg.(value & opt (some string) None
          & info [ "app" ] ~docv:"NAME" ~doc:"Restrict to one application.")
   in
-  let run verify only jobs =
+  let run verify only jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
     let specs =
       match only with
       | None -> Catalog.all
@@ -432,7 +507,7 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"Regenerate Tables 2 and 3 over the paper's application corpus.")
-    Term.(const run $ verify $ only $ jobs_arg)
+    Term.(const run $ verify $ only $ jobs_arg $ telemetry_term)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in

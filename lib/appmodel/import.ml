@@ -9,3 +9,4 @@ module Queue_model = Droidracer_semantics.Queue_model
 module Lifecycle = Droidracer_android.Lifecycle
 module Async_task = Droidracer_android.Async_task
 module Binder = Droidracer_android.Binder
+module Obs = Droidracer_obs.Obs

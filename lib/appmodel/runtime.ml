@@ -239,6 +239,7 @@ let do_post rt (thr : thr) id ~target ~flavour =
      (match flavour with
       | Operation.Delayed d -> Some d
       | Operation.Immediate | Operation.Front -> None));
+  Obs.add "runtime.posts";
   emit rt thr (Operation.Post { task = id; target; flavour })
 
 (* {1 Threads} *)
@@ -686,6 +687,7 @@ let interpret_instr rt (thr : thr) = function
   | Prog s -> interpret_stmt rt thr s
   | Release_monitor l -> emit rt thr (Operation.Release (Lock_id.make l))
   | Async_fork spec ->
+    Obs.add "runtime.async_tasks";
     let owner = Option.map (fun a -> a.obj) (current_activity rt thr) in
     let ctx = { spec; origin = thr.tid; a_owner = owner; published = 0 } in
     let t =
@@ -742,6 +744,7 @@ let finish_task rt (thr : thr) id =
 let begin_task rt (thr : thr) id =
   let info = task_info rt id in
   info.t_begun <- true;
+  Obs.add "runtime.tasks_dispatched";
   emit rt thr (Operation.Begin_task id);
   thr.running <- Some id;
   push_frame thr info.t_body
@@ -926,6 +929,7 @@ let earliest_delay_expiry rt =
 let pick rt choices = List.nth choices (choose rt (List.length choices))
 
 let run ?(options = default_options) app events =
+  Obs.with_span "runtime.run" @@ fun () ->
   (match Program.validate app with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Runtime.run: invalid app: " ^ msg));
@@ -1032,6 +1036,7 @@ let run ?(options = default_options) app events =
         , fun () ->
             pending_events := rest;
             injected := e :: !injected;
+            Obs.add "runtime.ui_events_dispatched";
             inject rt e )
         :: choices
       | _ :: _ | [] -> choices
@@ -1077,6 +1082,7 @@ let run ?(options = default_options) app events =
     | Ok t -> t
     | Error msg -> stuck "interpreter bug: ill-formed trace: %s" msg
   in
+  Obs.set_span_arg "steps" (string_of_int rt.steps);
   { observed = to_trace rt.obs_rev
   ; full = to_trace rt.full_rev
   ; thread_names = List.map (fun t -> (t.tid, t.thr_name)) rt.thread_list

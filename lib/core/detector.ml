@@ -27,7 +27,19 @@ type report =
   ; hb_edges : int
   ; fixpoint_passes : int
   ; elapsed_seconds : float
+  ; phase_seconds : (string * float) list
   }
+
+let phase_names =
+  [ "filter_cancelled"
+  ; "graph_build"
+  ; "happens_before"
+  ; "race_detect"
+  ; "classify"
+  ]
+
+let phase_seconds report name =
+  Option.value (List.assoc_opt name report.phase_seconds) ~default:0.0
 
 let relation ?(config = default_config) ?(jobs = 1) trace =
   let trace = Trace.remove_cancelled trace in
@@ -50,23 +62,48 @@ let dedup_distinct classified =
     classified
 
 let analyze ?(config = default_config) ?(jobs = 1) trace =
+  Obs.with_span "detector.analyze" ~args:[ ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   (* Wall-clock, not [Sys.time]: CPU time sums over domains and would
-     hide (or invert) any parallel speedup. *)
+     hide (or invert) any parallel speedup.  Phases are always timed —
+     the two [gettimeofday] calls per phase are noise next to the work
+     — so [phase_seconds] is populated whether or not telemetry is
+     enabled; the spans are recorded only when it is. *)
   let started = Unix.gettimeofday () in
-  let trace = Trace.remove_cancelled trace in
-  let graph = Graph.build ~coalesce:config.coalesce trace in
-  let hb = Happens_before.compute ~config:config.hb ~jobs graph in
-  let races = Race.detect ~jobs trace ~hb:(Happens_before.hb hb) in
+  let phases_rev = ref [] in
+  let phase name f =
+    let t0 = Unix.gettimeofday () in
+    let v = Obs.with_span ("detector." ^ name) f in
+    phases_rev := (name, Unix.gettimeofday () -. t0) :: !phases_rev;
+    v
+  in
+  let trace =
+    phase "filter_cancelled" (fun () -> Trace.remove_cancelled trace)
+  in
+  let graph =
+    phase "graph_build" (fun () ->
+      Obs.set_span_arg "coalesce" (string_of_bool config.coalesce);
+      Graph.build ~coalesce:config.coalesce trace)
+  in
+  let hb =
+    phase "happens_before" (fun () ->
+      Happens_before.compute ~config:config.hb ~jobs graph)
+  in
+  let races =
+    phase "race_detect" (fun () ->
+      Race.detect ~jobs trace ~hb:(Happens_before.hb hb))
+  in
   let all_races =
-    List.map
-      (fun race ->
-         { race
-         ; category =
-             Classify.classify trace
-               ~hb_or_eq:(Happens_before.hb_or_eq hb)
-               race
-         })
-      races
+    phase "classify" (fun () ->
+      List.map
+        (fun race ->
+           { race
+           ; category =
+               Classify.classify trace
+                 ~hb_or_eq:(Happens_before.hb_or_eq hb)
+                 race
+           })
+        races)
   in
   { trace
   ; all_races
@@ -77,6 +114,7 @@ let analyze ?(config = default_config) ?(jobs = 1) trace =
   ; hb_edges = Happens_before.edge_count hb
   ; fixpoint_passes = Happens_before.passes hb
   ; elapsed_seconds = Unix.gettimeofday () -. started
+  ; phase_seconds = List.rev !phases_rev
   }
 
 let category_order =

@@ -44,7 +44,20 @@ type report =
   ; hb_edges : int
   ; fixpoint_passes : int
   ; elapsed_seconds : float  (** wall-clock (monotonic across domains) *)
+  ; phase_seconds : (string * float) list
+      (** wall-clock breakdown of {!elapsed_seconds} by pipeline phase,
+          in execution order (see {!phase_names}); always populated,
+          telemetry enabled or not *)
   }
+
+val phase_names : string list
+(** The phases of [analyze], in order: ["filter_cancelled"],
+    ["graph_build"], ["happens_before"], ["race_detect"],
+    ["classify"]. *)
+
+val phase_seconds : report -> string -> float
+(** [phase_seconds report name] is the wall time of the named phase
+    (0.0 for an unknown name). *)
 
 val analyze : ?config:config -> ?jobs:int -> Trace.t -> report
 (** With [jobs > 1] (default 1) the happens-before fixpoint and the

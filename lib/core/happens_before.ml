@@ -70,7 +70,7 @@ let fifo_flavours_ok f1 f2 =
    count are identical for every [jobs] value. *)
 let closure_block_rows = 64
 
-let compute ?(config = default) ?(jobs = 1) g =
+let compute_impl ~config ~jobs g =
   let cfg = config in
   let trace = Graph.trace g in
   let n = Graph.node_count g in
@@ -342,14 +342,38 @@ let compute ?(config = default) ?(jobs = 1) g =
     List.exists Fun.id changes
   in
   let passes = ref 0 in
+  (* One span per fixpoint pass, carrying the number of ordering pairs
+     the pass discovered (a population count, so only computed when
+     telemetry is on — the fixpoint itself never pays for it). *)
   let rec fixpoint () =
     incr passes;
-    let c1 = closure_pass () in
-    let c2 = apply_dynamic () in
-    if c1 || c2 then fixpoint ()
+    let continue_ =
+      Obs.with_span "hb.pass"
+        ~args:[ ("pass", string_of_int !passes) ]
+        (fun () ->
+           let before = if Obs.enabled () then Bit_matrix.count m else 0 in
+           let c1 = Obs.with_span "hb.closure" closure_pass in
+           let c2 = Obs.with_span "hb.dynamic_rules" apply_dynamic in
+           if Obs.enabled () then begin
+             let added = Bit_matrix.count m - before in
+             Obs.set_span_arg "edges_added" (string_of_int added);
+             Obs.add ~n:added "hb.edges_added"
+           end;
+           c1 || c2)
+    in
+    if continue_ then fixpoint ()
   in
   fixpoint ();
+  Obs.add ~n:!passes "hb.passes";
   { graph = g; cfg; matrix = m; fixpoint_passes = !passes }
+
+let compute ?(config = default) ?(jobs = 1) g =
+  Obs.with_span "hb.compute"
+    ~args:
+      [ ("nodes", string_of_int (Graph.node_count g))
+      ; ("jobs", string_of_int jobs)
+      ]
+    (fun () -> compute_impl ~config ~jobs g)
 
 let node_hb t i j = i <> j && Bit_matrix.get t.matrix i j
 

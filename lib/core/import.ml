@@ -3,3 +3,4 @@
 module Ident = Droidracer_trace.Ident
 module Operation = Droidracer_trace.Operation
 module Trace = Droidracer_trace.Trace
+module Obs = Droidracer_obs.Obs

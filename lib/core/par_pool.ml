@@ -1,3 +1,5 @@
+module Obs = Droidracer_obs.Obs
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* The process-wide pool.  Workers block on [wake] until a task is
@@ -68,7 +70,8 @@ let ensure_workers wanted =
     end;
     for _ = 1 to missing do
       pool.workers <- Domain.spawn worker_loop :: pool.workers
-    done
+    done;
+    Obs.set_gauge "pool.workers" (float_of_int (List.length pool.workers))
   end
 
 let submit_tasks tasks =
@@ -111,11 +114,31 @@ let parallel_map ~jobs f xs =
       end
     in
     let helpers = min (jobs - 1) (n - 1) in
-    submit_tasks (List.init helpers (fun _ -> drain));
+    (* Telemetry: one span per submitted pool task (the unit a worker
+       domain executes), the submit-to-start latency as a queue-wait
+       histogram, and per-domain task/busy counters — each domain
+       writes its own buffer, so recording is race-free. *)
+    Obs.add "pool.parallel_maps";
+    Obs.add ~n:n "pool.items";
+    let instrument drain =
+      if not (Obs.enabled ()) then drain
+      else
+        let submitted = Obs.now_ns () in
+        fun () ->
+          Obs.observe "pool.queue_wait_seconds"
+            (Int64.to_float (Int64.sub (Obs.now_ns ()) submitted) /. 1e9);
+          Obs.add "pool.tasks";
+          Obs.with_span "pool.drain" drain
+    in
+    submit_tasks (List.init helpers (fun _ -> instrument drain));
     (* The caller participates, so progress never depends on a worker
        being free — a drain task still queued when the counter runs out
        simply becomes a no-op. *)
-    drain ();
+    if Obs.enabled () then begin
+      Obs.add "pool.tasks";
+      Obs.with_span "pool.drain" ~args:[ ("caller", "true") ] drain
+    end
+    else drain ();
     Mutex.lock latch;
     while !completed < n do
       Condition.wait all_done latch

@@ -48,6 +48,8 @@ let accesses trace =
   List.rev !out
 
 let detect ?(jobs = 1) trace ~hb =
+  Obs.with_span "race.detect" ~args:[ ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   let by_location = Hashtbl.create 64 in
   List.iter
     (fun a ->
@@ -81,6 +83,9 @@ let detect ?(jobs = 1) trace ~hb =
       groups
   in
   let scan (arr, lo, hi) =
+    Obs.with_span "race.chunk"
+      ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+    @@ fun () ->
     let races = ref [] in
     for i = lo to hi - 1 do
       let a = arr.(i) in
@@ -92,6 +97,18 @@ let detect ?(jobs = 1) trace ~hb =
         then races := { first = a; second = b } :: !races
       done
     done;
+    if Obs.enabled () then begin
+      (* pairs examined = Σ_{i=lo}^{hi-1} (len-1-i), in closed form so
+         the scan's inner loop stays untouched *)
+      let len = Array.length arr in
+      let k = hi - lo in
+      let pairs = (k * (len - 1)) - (k * (lo + hi - 1) / 2) in
+      let conflicts = List.length !races in
+      Obs.add ~n:pairs "race.pairs_examined";
+      Obs.add ~n:conflicts "race.conflicts";
+      Obs.set_span_arg "pairs" (string_of_int pairs);
+      Obs.set_span_arg "conflicts" (string_of_int conflicts)
+    end;
     !races
   in
   List.concat (Par_pool.parallel_map ~jobs scan work)

@@ -1,0 +1,490 @@
+(* Per-domain telemetry buffers, merged at export time.
+
+   Writers: only the owning domain ever pushes spans or bumps metrics
+   in its buffer.  Readers: [snapshot] (and [reset]) run on some other
+   domain after the parallel work has joined.  Each buffer still
+   carries a mutex — uncontended in the steady state — so that a
+   snapshot taken concurrently with a straggling recorder is a
+   consistent interleaving rather than a data race. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let now_ns () = Monotonic_clock.now ()
+
+type span =
+  { sp_name : string
+  ; sp_path : string list
+  ; sp_domain : int
+  ; sp_start_ns : int64
+  ; sp_dur_ns : int64
+  ; sp_args : (string * string) list
+  }
+
+type histogram =
+  { h_count : int
+  ; h_sum : float
+  ; h_min : float
+  ; h_max : float
+  }
+
+type domain_stats =
+  { d_id : int
+  ; d_spans : int
+  ; d_busy_seconds : float
+  }
+
+type snapshot =
+  { spans : span list
+  ; counters : (string * int) list
+  ; gauges : (string * float) list
+  ; histograms : (string * histogram) list
+  ; domains : domain_stats list
+  }
+
+type open_span =
+  { os_name : string
+  ; os_path : string list  (* outermost first, own name last *)
+  ; os_start : int64
+  ; mutable os_args : (string * string) list
+  }
+
+type hist_cell =
+  { mutable hc_count : int
+  ; mutable hc_sum : float
+  ; mutable hc_min : float
+  ; mutable hc_max : float
+  }
+
+type buffer =
+  { b_domain : int
+  ; b_mutex : Mutex.t
+  ; mutable b_spans : span list  (* completed, most recent first *)
+  ; mutable b_stack : open_span list  (* innermost first *)
+  ; b_counters : (string, int ref) Hashtbl.t
+  ; b_gauges : (string, float * int64) Hashtbl.t  (* value, set-time *)
+  ; b_hists : (string, hist_cell) Hashtbl.t
+  }
+
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+
+(* Span timestamps are relative to the last [reset], so a trace starts
+   at t=0 whatever the machine's uptime. *)
+let epoch_ns = Atomic.make (now_ns ())
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+    let b =
+      { b_domain = (Domain.self () :> int)
+      ; b_mutex = Mutex.create ()
+      ; b_spans = []
+      ; b_stack = []
+      ; b_counters = Hashtbl.create 16
+      ; b_gauges = Hashtbl.create 8
+      ; b_hists = Hashtbl.create 8
+      }
+    in
+    Mutex.lock registry_mutex;
+    registry := b :: !registry;
+    Mutex.unlock registry_mutex;
+    b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let all_buffers () =
+  Mutex.lock registry_mutex;
+  let bs = !registry in
+  Mutex.unlock registry_mutex;
+  bs
+
+let reset () =
+  List.iter
+    (fun b ->
+       Mutex.lock b.b_mutex;
+       b.b_spans <- [];
+       b.b_stack <- [];
+       Hashtbl.reset b.b_counters;
+       Hashtbl.reset b.b_gauges;
+       Hashtbl.reset b.b_hists;
+       Mutex.unlock b.b_mutex)
+    (all_buffers ());
+  Atomic.set epoch_ns (now_ns ())
+
+let rel ns = Int64.sub ns (Atomic.get epoch_ns)
+
+(* {1 Recording} *)
+
+let with_span ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let b = buffer () in
+    let parent_path =
+      match b.b_stack with [] -> [] | os :: _ -> os.os_path
+    in
+    let os =
+      { os_name = name
+      ; os_path = parent_path @ [ name ]
+      ; os_start = now_ns ()
+      ; os_args = args
+      }
+    in
+    Mutex.lock b.b_mutex;
+    b.b_stack <- os :: b.b_stack;
+    Mutex.unlock b.b_mutex;
+    let finish () =
+      let dur = Int64.sub (now_ns ()) os.os_start in
+      Mutex.lock b.b_mutex;
+      (match b.b_stack with
+       | top :: rest when top == os -> b.b_stack <- rest
+       | _ ->
+         (* a [reset] ran while the span was open; drop whatever is
+            left of this span's lineage *)
+         b.b_stack <- List.filter (fun o -> not (o == os)) b.b_stack);
+      b.b_spans <-
+        { sp_name = name
+        ; sp_path = os.os_path
+        ; sp_domain = b.b_domain
+        ; sp_start_ns = rel os.os_start
+        ; sp_dur_ns = dur
+        ; sp_args = os.os_args
+        }
+        :: b.b_spans;
+      Mutex.unlock b.b_mutex
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let set_span_arg key value =
+  if enabled () then begin
+    let b = buffer () in
+    Mutex.lock b.b_mutex;
+    (match b.b_stack with
+     | os :: _ -> os.os_args <- (key, value) :: List.remove_assoc key os.os_args
+     | [] -> ());
+    Mutex.unlock b.b_mutex
+  end
+
+let add ?(n = 1) name =
+  if enabled () && n <> 0 then begin
+    let b = buffer () in
+    Mutex.lock b.b_mutex;
+    (match Hashtbl.find_opt b.b_counters name with
+     | Some r -> r := !r + n
+     | None -> Hashtbl.add b.b_counters name (ref n));
+    Mutex.unlock b.b_mutex
+  end
+
+let set_gauge name v =
+  if enabled () then begin
+    let b = buffer () in
+    Mutex.lock b.b_mutex;
+    Hashtbl.replace b.b_gauges name (v, now_ns ());
+    Mutex.unlock b.b_mutex
+  end
+
+let observe name v =
+  if enabled () then begin
+    let b = buffer () in
+    Mutex.lock b.b_mutex;
+    (match Hashtbl.find_opt b.b_hists name with
+     | Some h ->
+       h.hc_count <- h.hc_count + 1;
+       h.hc_sum <- h.hc_sum +. v;
+       h.hc_min <- min h.hc_min v;
+       h.hc_max <- max h.hc_max v
+     | None ->
+       Hashtbl.add b.b_hists name
+         { hc_count = 1; hc_sum = v; hc_min = v; hc_max = v });
+    Mutex.unlock b.b_mutex
+  end
+
+(* {1 Snapshots} *)
+
+let snapshot () =
+  let spans = ref [] in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let gauges : (string, float * int64) Hashtbl.t = Hashtbl.create 8 in
+  let hists : (string, hist_cell) Hashtbl.t = Hashtbl.create 8 in
+  let domains = ref [] in
+  List.iter
+    (fun b ->
+       Mutex.lock b.b_mutex;
+       let b_spans = b.b_spans in
+       Hashtbl.iter
+         (fun name r ->
+            Hashtbl.replace counters name
+              (Option.value (Hashtbl.find_opt counters name) ~default:0 + !r))
+         b.b_counters;
+       Hashtbl.iter
+         (fun name (v, t) ->
+            match Hashtbl.find_opt gauges name with
+            | Some (_, t') when t' >= t -> ()
+            | Some _ | None -> Hashtbl.replace gauges name (v, t))
+         b.b_gauges;
+       Hashtbl.iter
+         (fun name h ->
+            match Hashtbl.find_opt hists name with
+            | Some acc ->
+              acc.hc_count <- acc.hc_count + h.hc_count;
+              acc.hc_sum <- acc.hc_sum +. h.hc_sum;
+              acc.hc_min <- min acc.hc_min h.hc_min;
+              acc.hc_max <- max acc.hc_max h.hc_max
+            | None ->
+              Hashtbl.add hists name
+                { hc_count = h.hc_count
+                ; hc_sum = h.hc_sum
+                ; hc_min = h.hc_min
+                ; hc_max = h.hc_max
+                })
+         b.b_hists;
+       Mutex.unlock b.b_mutex;
+       spans := List.rev_append b_spans !spans;
+       if b_spans <> [] then begin
+         let busy =
+           List.fold_left
+             (fun acc s ->
+                match s.sp_path with
+                | [ _ ] -> Int64.add acc s.sp_dur_ns
+                | _ -> acc)
+             0L b_spans
+         in
+         domains :=
+           { d_id = b.b_domain
+           ; d_spans = List.length b_spans
+           ; d_busy_seconds = Int64.to_float busy /. 1e9
+           }
+           :: !domains
+       end)
+    (all_buffers ());
+  let sorted_assoc of_tbl =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) of_tbl
+  in
+  { spans =
+      List.sort
+        (fun s1 s2 ->
+           match Int64.compare s1.sp_start_ns s2.sp_start_ns with
+           | 0 -> Int.compare s1.sp_domain s2.sp_domain
+           | c -> c)
+        !spans
+  ; counters = sorted_assoc (Hashtbl.fold (fun k v a -> (k, v) :: a) counters [])
+  ; gauges =
+      sorted_assoc (Hashtbl.fold (fun k (v, _) a -> (k, v) :: a) gauges [])
+  ; histograms =
+      sorted_assoc
+        (Hashtbl.fold
+           (fun k h a ->
+              ( k
+              , { h_count = h.hc_count
+                ; h_sum = h.hc_sum
+                ; h_min = h.hc_min
+                ; h_max = h.hc_max
+                } )
+              :: a)
+           hists [])
+  ; domains = List.sort (fun d1 d2 -> Int.compare d1.d_id d2.d_id) !domains
+  }
+
+(* {1 The summary tree} *)
+
+type tree_node =
+  { mutable tn_count : int
+  ; mutable tn_total : int64
+  ; tn_children : (string, tree_node) Hashtbl.t
+  }
+
+let new_node () =
+  { tn_count = 0; tn_total = 0L; tn_children = Hashtbl.create 4 }
+
+let summary_string () =
+  let snap = snapshot () in
+  let root = new_node () in
+  List.iter
+    (fun s ->
+       let rec insert node = function
+         | [] ->
+           node.tn_count <- node.tn_count + 1;
+           node.tn_total <- Int64.add node.tn_total s.sp_dur_ns
+         | seg :: rest ->
+           let child =
+             match Hashtbl.find_opt node.tn_children seg with
+             | Some c -> c
+             | None ->
+               let c = new_node () in
+               Hashtbl.add node.tn_children seg c;
+               c
+           in
+           insert child rest
+       in
+       insert root s.sp_path)
+    snap.spans;
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let seconds ns = Int64.to_float ns /. 1e9 in
+  let rec print_node depth name node =
+    let label = String.make (2 * depth) ' ' ^ name in
+    line "%-48s %8d %10.3fs" label node.tn_count (seconds node.tn_total);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) node.tn_children []
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+      match Int64.compare c2.tn_total c1.tn_total with
+      | 0 -> String.compare n1 n2
+      | c -> c)
+    |> List.iter (fun (k, v) -> print_node (depth + 1) k v)
+  in
+  if Hashtbl.length root.tn_children > 0 then begin
+    line "%-48s %8s %10s" "span" "calls" "total";
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) root.tn_children []
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+      match Int64.compare c2.tn_total c1.tn_total with
+      | 0 -> String.compare n1 n2
+      | c -> c)
+    |> List.iter (fun (k, v) -> print_node 0 k v)
+  end;
+  if snap.counters <> [] then begin
+    line "";
+    line "%-48s %10s" "counter" "total";
+    List.iter (fun (name, v) -> line "%-48s %10d" name v) snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    line "";
+    line "%-48s %10s" "gauge" "value";
+    List.iter (fun (name, v) -> line "%-48s %10.3f" name v) snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    line "";
+    line "%-48s %8s %10s %10s %10s" "histogram" "count" "sum" "min" "max";
+    List.iter
+      (fun (name, h) ->
+         line "%-48s %8d %10.4f %10.4f %10.4f" name h.h_count h.h_sum h.h_min
+           h.h_max)
+      snap.histograms
+  end;
+  if snap.domains <> [] then begin
+    line "";
+    line "%-48s %8s %10s" "domain" "spans" "busy";
+    List.iter
+      (fun d ->
+         line "%-48s %8d %9.3fs"
+           (Printf.sprintf "domain-%d" d.d_id)
+           d.d_spans d.d_busy_seconds)
+      snap.domains
+  end;
+  Buffer.contents buf
+
+(* {1 JSON exporters} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let comma_sep buf emit items =
+  List.iteri
+    (fun i x ->
+       if i > 0 then Buffer.add_string buf ",";
+       emit x)
+    items
+
+let metrics_json_string () =
+  let snap = snapshot () in
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema\": \"droidracer-metrics/1\",\n";
+  out "  \"spans_recorded\": %d,\n" (List.length snap.spans);
+  out "  \"counters\": {";
+  comma_sep buf
+    (fun (name, v) -> out "\n    \"%s\": %d" (json_escape name) v)
+    snap.counters;
+  out "\n  },\n";
+  out "  \"gauges\": {";
+  comma_sep buf
+    (fun (name, v) -> out "\n    \"%s\": %.6f" (json_escape name) v)
+    snap.gauges;
+  out "\n  },\n";
+  out "  \"histograms\": {";
+  comma_sep buf
+    (fun (name, h) ->
+       out
+         "\n    \"%s\": {\"count\": %d, \"sum\": %.6f, \"min\": %.6f, \
+          \"max\": %.6f, \"mean\": %.6f}"
+         (json_escape name) h.h_count h.h_sum h.h_min h.h_max
+         (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count))
+    snap.histograms;
+  out "\n  },\n";
+  out "  \"domains\": [";
+  comma_sep buf
+    (fun d ->
+       out "\n    {\"domain\": %d, \"spans\": %d, \"busy_seconds\": %.6f}"
+         d.d_id d.d_spans d.d_busy_seconds)
+    snap.domains;
+  out "\n  ]\n}\n";
+  Buffer.contents buf
+
+let chrome_trace_string () =
+  let snap = snapshot () in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let us ns = Int64.to_float ns /. 1e3 in
+  out "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else out ",";
+    out "\n"
+  in
+  sep ();
+  out
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"droidracer\"}}";
+  List.iter
+    (fun d ->
+       sep ();
+       out
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+         d.d_id d.d_id)
+    snap.domains;
+  List.iter
+    (fun s ->
+       sep ();
+       out
+         "{\"name\":\"%s\",\"cat\":\"droidracer\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+         (json_escape s.sp_name) (us s.sp_start_ns) (us s.sp_dur_ns)
+         s.sp_domain;
+       if s.sp_args <> [] then begin
+         out ",\"args\":{";
+         comma_sep buf
+           (fun (k, v) ->
+              out "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+           s.sp_args;
+         out "}"
+       end;
+       out "}")
+    snap.spans;
+  out "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write_string path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let write_chrome_trace path = write_string path (chrome_trace_string ())
+let write_metrics_json path = write_string path (metrics_json_string ())

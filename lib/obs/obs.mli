@@ -1,0 +1,122 @@
+(** Structured telemetry for the analysis pipeline: monotonic-clock
+    spans with parent/child nesting, named counters, gauges and
+    histograms, and three exporters (human-readable summary tree, JSON
+    metrics dump, Chrome [trace_event] JSON loadable in
+    [chrome://tracing] or Perfetto).
+
+    The library is dependency-light (the only external code is
+    bechamel's [clock_gettime] stub) and race-free under {!Par_pool}:
+    every domain appends to its own buffer, discovered through
+    domain-local storage and registered in a global list, and the
+    buffers are merged only when an exporter runs — which the pipeline
+    does after its parallel sections have completed.
+
+    Telemetry is {e off} by default and every instrumentation point is
+    gated on a single atomic load, so the hot paths pay nothing when it
+    is disabled: [with_span name f] is exactly [f ()] and the metric
+    calls return immediately.  Timestamps come from the monotonic
+    clock ([CLOCK_MONOTONIC]), never the wall clock, so spans are
+    immune to NTP adjustments. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+(** One atomic load; instrumentation call sites that need extra work to
+    compute a metric (e.g. a matrix population count) should gate it on
+    this. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and metrics (of every domain) and restart
+    the trace clock.  Call between runs that must not see each other's
+    telemetry.  Only sound while no domain is inside an instrumented
+    parallel section. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic clock, for callers that time something across an
+    asynchronous boundary (e.g. queue wait in the domain pool). *)
+
+(** {1 Recording} *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  Spans nest per domain:
+    a span opened while another is open on the same domain becomes its
+    child (Chrome renders the stack; the summary tree aggregates by
+    path).  The result (or exception, with its backtrace) of [f] is
+    passed through unchanged; the span is closed either way. *)
+
+val set_span_arg : string -> string -> unit
+(** Attach [key = value] to the innermost open span of the calling
+    domain — for values only known at the end of the work, like an
+    edges-added count.  No-op when disabled or outside any span. *)
+
+val add : ?n:int -> string -> unit
+(** Increment a named counter (by [n], default 1).  Counters are
+    per-domain and summed at export. *)
+
+val set_gauge : string -> float -> unit
+(** Set a named gauge; the export keeps the most recent value across
+    all domains (by monotonic timestamp). *)
+
+val observe : string -> float -> unit
+(** Record a sample into a named histogram (count/sum/min/max). *)
+
+(** {1 Snapshots} *)
+
+type span =
+  { sp_name : string
+  ; sp_path : string list  (** outermost ancestor first, own name last *)
+  ; sp_domain : int  (** the domain that executed it *)
+  ; sp_start_ns : int64  (** relative to the last {!reset} *)
+  ; sp_dur_ns : int64
+  ; sp_args : (string * string) list
+  }
+
+type histogram =
+  { h_count : int
+  ; h_sum : float
+  ; h_min : float
+  ; h_max : float
+  }
+
+type domain_stats =
+  { d_id : int
+  ; d_spans : int
+  ; d_busy_seconds : float
+      (** summed duration of the domain's top-level spans: the
+          utilization numerator (divide by the region's wall time) *)
+  }
+
+type snapshot =
+  { spans : span list  (** sorted by start time, then domain *)
+  ; counters : (string * int) list  (** merged across domains, sorted *)
+  ; gauges : (string * float) list
+  ; histograms : (string * histogram) list
+  ; domains : domain_stats list  (** one per domain that recorded *)
+  }
+
+val snapshot : unit -> snapshot
+(** Merge every domain's buffer into one consistent view.  Sound
+    whenever no domain is actively recording (the pipeline exports
+    after its parallel sections have joined). *)
+
+(** {1 Exporters} *)
+
+val summary_string : unit -> string
+(** The human-readable tree: span paths with call counts and total
+    time, followed by counters, gauges and histograms. *)
+
+val metrics_json_string : unit -> string
+(** Schema [droidracer-metrics/1]: counters, gauges, histograms and
+    per-domain span statistics. *)
+
+val chrome_trace_string : unit -> string
+(** Chrome [trace_event] JSON: one complete ("ph":"X") event per span,
+    one track (tid = domain id) per domain, with thread-name metadata
+    events.  Load in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}. *)
+
+val write_chrome_trace : string -> unit
+val write_metrics_json : string -> unit

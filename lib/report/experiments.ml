@@ -8,7 +8,11 @@ type app_run =
   }
 
 let run_spec spec =
-  let built = Synthetic.build spec in
+  Obs.with_span "corpus.app" ~args:[ ("app", spec.Synthetic.s_name) ]
+  @@ fun () ->
+  let built =
+    Obs.with_span "corpus.build" (fun () -> Synthetic.build spec)
+  in
   let result =
     Runtime.run ~options:built.Synthetic.b_options built.Synthetic.b_app
       built.Synthetic.b_events
@@ -193,6 +197,8 @@ let performance_table runs =
         ; "HB pairs"
         ; "Passes"
         ; "Analysis time"
+        ; "HB time"
+        ; "Detect time"
         ]
   in
   let ratios = ref [] in
@@ -210,6 +216,8 @@ let performance_table runs =
     ; string_of_int r.Detector.hb_edges
     ; string_of_int r.Detector.fixpoint_passes
     ; Printf.sprintf "%.3fs" r.Detector.elapsed_seconds
+    ; Printf.sprintf "%.3fs" (Detector.phase_seconds r "happens_before")
+    ; Printf.sprintf "%.3fs" (Detector.phase_seconds r "race_detect")
     ]
   in
   add_section_rows table row runs;
@@ -226,6 +234,8 @@ let performance_table runs =
        ; ""
        ; ""
        ; Printf.sprintf "%.1f-%.1f%% avg %.1f%%" mn mx avg
+       ; ""
+       ; ""
        ; ""
        ; ""
        ; ""

@@ -1,0 +1,284 @@
+(* Tests of the telemetry subsystem: span nesting and ordering, metric
+   merging across pool domains, exporter validity (the Chrome trace and
+   metrics JSON are parsed back), the zero-overhead disabled path, and
+   the invariant the whole design rests on — [Detector.analyze] output
+   is identical with telemetry on and off. *)
+
+module Obs = Droidracer_obs.Obs
+module Par_pool = Droidracer_core.Par_pool
+module Detector = Droidracer_core.Detector
+module Runtime = Droidracer_appmodel.Runtime
+module Synthetic = Droidracer_corpus.Synthetic
+module Catalog = Droidracer_corpus.Catalog
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+(* Every test leaves the subsystem disabled and empty, so suites cannot
+   leak telemetry into each other. *)
+let with_telemetry f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () ->
+    Obs.disable ();
+    Obs.reset ())
+    f
+
+(* {1 Spans} *)
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  let v =
+    Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> ());
+      Obs.with_span "inner" (fun () -> ());
+      17)
+  in
+  check_int "with_span is transparent" 17 v;
+  let snap = Obs.snapshot () in
+  let paths = List.map (fun s -> s.Obs.sp_path) snap.Obs.spans in
+  check_int "three spans recorded" 3 (List.length paths);
+  check_int "two nested instances" 2
+    (List.length (List.filter (( = ) [ "outer"; "inner" ]) paths));
+  check_int "one root" 1 (List.length (List.filter (( = ) [ "outer" ]) paths));
+  let outer =
+    List.find (fun s -> s.Obs.sp_path = [ "outer" ]) snap.Obs.spans
+  in
+  List.iter
+    (fun s ->
+       if s.Obs.sp_path <> [ "outer" ] then begin
+         check_bool "child starts after parent" true
+           (s.Obs.sp_start_ns >= outer.Obs.sp_start_ns);
+         check_bool "child is contained in parent" true
+           (Int64.add s.Obs.sp_start_ns s.Obs.sp_dur_ns
+            <= Int64.add outer.Obs.sp_start_ns outer.Obs.sp_dur_ns)
+       end)
+    snap.Obs.spans;
+  (* the snapshot is sorted by start time *)
+  let starts = List.map (fun s -> s.Obs.sp_start_ns) snap.Obs.spans in
+  check_bool "spans sorted by start" true (List.sort compare starts = starts)
+
+let test_span_args_and_exceptions () =
+  with_telemetry @@ fun () ->
+  (match
+     Obs.with_span "failing" (fun () ->
+       Obs.set_span_arg "detail" "boom";
+       failwith "expected")
+   with
+   | () -> Alcotest.fail "exception swallowed"
+   | exception Failure msg -> check_string "exception passed through" "expected" msg);
+  let snap = Obs.snapshot () in
+  match snap.Obs.spans with
+  | [ s ] ->
+    check_string "span closed despite raise" "failing" s.Obs.sp_name;
+    check_string "arg recorded" "boom" (List.assoc "detail" s.Obs.sp_args)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_disabled_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.with_span "ghost" (fun () -> Obs.add "ghost.counter");
+  Obs.observe "ghost.hist" 1.0;
+  Obs.set_gauge "ghost.gauge" 1.0;
+  let snap = Obs.snapshot () in
+  check_int "no spans" 0 (List.length snap.Obs.spans);
+  check_int "no counters" 0 (List.length snap.Obs.counters);
+  check_int "no gauges" 0 (List.length snap.Obs.gauges);
+  check_int "no histograms" 0 (List.length snap.Obs.histograms)
+
+(* {1 Merging across domains} *)
+
+let test_counter_merge_across_domains () =
+  with_telemetry @@ fun () ->
+  let results =
+    Par_pool.parallel_map ~jobs:4
+      (fun i ->
+         Obs.add "merge.ticks";
+         Obs.add ~n:i "merge.weighted";
+         Obs.observe "merge.sample" (float_of_int i);
+         i)
+      (List.init 200 (fun i -> i))
+  in
+  check_int "map unaffected by instrumentation" 200 (List.length results);
+  let snap = Obs.snapshot () in
+  let counter name =
+    Option.value (List.assoc_opt name snap.Obs.counters) ~default:0
+  in
+  check_int "per-domain counters sum exactly" 200 (counter "merge.ticks");
+  check_int "weighted counter sums exactly" (199 * 200 / 2)
+    (counter "merge.weighted");
+  match List.assoc_opt "merge.sample" snap.Obs.histograms with
+  | None -> Alcotest.fail "histogram lost in merge"
+  | Some h ->
+    check_int "histogram count" 200 h.Obs.h_count;
+    Alcotest.check (Alcotest.float 1e-6) "histogram sum"
+      (float_of_int (199 * 200 / 2))
+      h.Obs.h_sum;
+    Alcotest.check (Alcotest.float 1e-6) "histogram min" 0.0 h.Obs.h_min;
+    Alcotest.check (Alcotest.float 1e-6) "histogram max" 199.0 h.Obs.h_max
+
+(* {1 Exporters} *)
+
+let corpus_trace =
+  lazy
+    (let spec = List.nth Catalog.open_source 0 in
+     let b = Synthetic.build spec in
+     (Runtime.run ~options:b.Synthetic.b_options b.Synthetic.b_app
+        b.Synthetic.b_events)
+       .Runtime.observed)
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let json_of_string name s =
+  match Json_parse.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s is not valid JSON: %s" name msg
+
+let test_chrome_trace_parses_back () =
+  with_telemetry @@ fun () ->
+  ignore (Detector.analyze ~jobs:3 (Lazy.force corpus_trace));
+  let json = json_of_string "chrome trace" (Obs.chrome_trace_string ()) in
+  let events =
+    match Option.bind (Json_parse.member "traceEvents" json) Json_parse.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let complete =
+    List.filter
+      (fun e -> Json_parse.member "ph" e = Some (Json_parse.String "X"))
+      events
+  in
+  check_bool "at least one complete event" true (complete <> []);
+  List.iter
+    (fun e ->
+       List.iter
+         (fun field ->
+            check_bool (field ^ " present") true
+              (Json_parse.member field e <> None))
+         [ "name"; "ts"; "dur"; "pid"; "tid" ])
+    complete;
+  let names =
+    List.filter_map
+      (fun e -> Option.bind (Json_parse.member "name" e) Json_parse.to_string)
+      complete
+  in
+  List.iter
+    (fun phase ->
+       check_bool ("span " ^ phase ^ " present") true
+         (List.exists (String.equal ("detector." ^ phase)) names))
+    Detector.phase_names;
+  check_bool "analyze span present" true
+    (List.mem "detector.analyze" names);
+  (* one track per recorded domain, thread-named *)
+  let tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> Option.bind (Json_parse.member "tid" e) Json_parse.to_number)
+         complete)
+  in
+  check_bool "at least one domain track" true (tids <> []);
+  let thread_names =
+    List.filter
+      (fun e ->
+         Json_parse.member "ph" e = Some (Json_parse.String "M")
+         && Json_parse.member "name" e = Some (Json_parse.String "thread_name"))
+      events
+  in
+  check_int "every track has a thread_name metadata event"
+    (List.length tids) (List.length thread_names)
+
+let test_metrics_json_parses_back () =
+  with_telemetry @@ fun () ->
+  ignore (Detector.analyze ~jobs:2 (Lazy.force corpus_trace));
+  let json = json_of_string "metrics" (Obs.metrics_json_string ()) in
+  (match Option.bind (Json_parse.member "counters" json) (Json_parse.member "hb.passes") with
+   | Some (Json_parse.Number n) -> check_bool "hb.passes positive" true (n > 0.0)
+   | Some _ | None -> Alcotest.fail "counters.hb.passes missing");
+  (match Option.bind (Json_parse.member "domains" json) Json_parse.to_list with
+   | Some (_ :: _) -> ()
+   | Some [] | None -> Alcotest.fail "no per-domain statistics");
+  check_bool "summary names the analyze span" true
+    (contains_substring ~needle:"detector.analyze" (Obs.summary_string ()))
+
+(* {1 Telemetry transparency} *)
+
+(* The whole subsystem's contract: enabling telemetry must not change a
+   single byte of the analysis result. *)
+let report_fingerprint report =
+  Format.asprintf "%a" Detector.pp_report
+    { report with Detector.elapsed_seconds = 0. }
+
+let test_analyze_identical_on_off () =
+  Obs.disable ();
+  Obs.reset ();
+  let trace = Lazy.force corpus_trace in
+  let off = Detector.analyze ~jobs:4 trace in
+  let on = with_telemetry (fun () -> Detector.analyze ~jobs:4 trace) in
+  check_string "report identical with telemetry on vs off"
+    (report_fingerprint off) (report_fingerprint on);
+  check_string "same phases in the same order"
+    (String.concat "," (List.map fst off.Detector.phase_seconds))
+    (String.concat "," (List.map fst on.Detector.phase_seconds));
+  check_string "phase list matches the documented names"
+    (String.concat "," Detector.phase_names)
+    (String.concat "," (List.map fst on.Detector.phase_seconds))
+
+let test_phase_seconds_consistent () =
+  Obs.disable ();
+  Obs.reset ();
+  let report = Detector.analyze (Lazy.force corpus_trace) in
+  let total =
+    List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0
+      report.Detector.phase_seconds
+  in
+  check_bool "phases sum to at most the elapsed wall time" true
+    (total <= report.Detector.elapsed_seconds +. 1e-3);
+  check_bool "unknown phase reads as zero" true
+    (Detector.phase_seconds report "no_such_phase" = 0.0)
+
+(* {1 Reset} *)
+
+let test_reset_clears_all_domains () =
+  with_telemetry @@ fun () ->
+  ignore
+    (Par_pool.parallel_map ~jobs:4
+       (fun i ->
+          Obs.add "reset.ticks";
+          i)
+       (List.init 64 (fun i -> i)));
+  Obs.reset ();
+  let snap = Obs.snapshot () in
+  check_int "counters cleared everywhere" 0 (List.length snap.Obs.counters);
+  check_int "spans cleared everywhere" 0 (List.length snap.Obs.spans)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "spans"
+      , [ Alcotest.test_case "nesting and ordering" `Quick test_span_nesting
+        ; Alcotest.test_case "args and exceptions" `Quick
+            test_span_args_and_exceptions
+        ; Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop
+        ] )
+    ; ( "merging"
+      , [ Alcotest.test_case "counters and histograms across domains" `Quick
+            test_counter_merge_across_domains
+        ; Alcotest.test_case "reset clears every domain" `Quick
+            test_reset_clears_all_domains
+        ] )
+    ; ( "exporters"
+      , [ Alcotest.test_case "chrome trace parses back" `Quick
+            test_chrome_trace_parses_back
+        ; Alcotest.test_case "metrics JSON parses back" `Quick
+            test_metrics_json_parses_back
+        ] )
+    ; ( "transparency"
+      , [ Alcotest.test_case "analyze identical with telemetry on/off" `Quick
+            test_analyze_identical_on_off
+        ; Alcotest.test_case "phase breakdown consistent" `Quick
+            test_phase_seconds_consistent
+        ] )
+    ]

@@ -11,6 +11,9 @@
    - [--json PATH] also write a machine-readable record of per-stage
                    wall times (the CI smoke job archives it to track
                    the performance trajectory across PRs);
+   - [--hb-engines-json PATH] also write the dense-versus-worklist
+                   closure-engine comparison (per application and
+                   engine: edges, passes, word ORs, wall time);
    - [--trace-out PATH]   enable telemetry and write a Chrome
                    trace_event JSON of the whole run (one track per
                    analysis domain; chrome://tracing / Perfetto);
@@ -40,14 +43,15 @@ type options =
   { quick : bool
   ; jobs : int
   ; json : string option
+  ; hb_engines_json : string option
   ; trace_out : string option
   ; metrics_out : string option
   }
 
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [--jobs N] [--json PATH] [--trace-out PATH] \
-     [--metrics-out PATH]";
+    "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
+     [--trace-out PATH] [--metrics-out PATH]";
   exit 2
 
 let parse_options () =
@@ -62,6 +66,8 @@ let parse_options () =
          | Some _ | None -> usage ())
       | "--json" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with json = Some Sys.argv.(i + 1) }
+      | "--hb-engines-json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with hb_engines_json = Some Sys.argv.(i + 1) }
       | "--trace-out" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with trace_out = Some Sys.argv.(i + 1) }
       | "--metrics-out" when i + 1 < Array.length Sys.argv ->
@@ -72,6 +78,7 @@ let parse_options () =
     { quick = false
     ; jobs = Par_pool.default_jobs ()
     ; json = None
+    ; hb_engines_json = None
     ; trace_out = None
     ; metrics_out = None
     }
@@ -154,6 +161,131 @@ let write_json path opts (runs : Experiments.app_run list) =
          (Detector.phase_seconds r "race_detect")
          (if i = List.length runs - 1 then "" else ","))
     runs;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* {1 Closure-engine comparison}
+
+   Re-analyses every corpus trace with each happens-before closure
+   engine.  The inner analyses run at jobs=1 — both engines are
+   jobs-independent, and sequential timings make the wall-time columns
+   comparable — while the (app × engine) grid itself is spread over the
+   pool. *)
+
+type engine_run =
+  { er_app : string
+  ; er_engine : Happens_before.closure_engine
+  ; er_report : Detector.report
+  }
+
+let engine_comparison ~jobs (runs : Experiments.app_run list) =
+  let tasks =
+    List.concat_map
+      (fun run ->
+         List.map
+           (fun engine -> (run, engine))
+           [ Happens_before.Dense; Happens_before.Worklist ])
+      runs
+  in
+  Par_pool.parallel_map ~jobs
+    (fun (run, engine) ->
+       let config =
+         { Detector.default_config with
+           hb = { Detector.default_config.hb with closure = engine }
+         }
+       in
+       { er_app = run.Experiments.ar_built.Synthetic.b_spec.Synthetic.s_name
+       ; er_engine = engine
+       ; er_report =
+           Detector.analyze ~config ~jobs:1
+             run.Experiments.ar_result.Runtime.observed
+       })
+    tasks
+
+let hb_engine_table (eruns : engine_run list) =
+  let table =
+    Table.create ~title:"Closure engines: dense vs worklist (jobs=1)"
+      ~columns:
+        [ "application"
+        ; "hb pairs"
+        ; "passes d/w"
+        ; "word ORs dense"
+        ; "word ORs worklist"
+        ; "hb dense"
+        ; "hb worklist"
+        ; "speedup"
+        ; "races"
+        ]
+  in
+  let rec go = function
+    | [] -> ()
+    | d :: w :: rest when d.er_app = w.er_app ->
+      let rd = d.er_report and rw = w.er_report in
+      let hd = Detector.phase_seconds rd "happens_before"
+      and hw = Detector.phase_seconds rw "happens_before" in
+      let agree =
+        rd.Detector.hb_edges = rw.Detector.hb_edges
+        && List.length rd.Detector.all_races
+           = List.length rw.Detector.all_races
+        && List.length rd.Detector.distinct_races
+           = List.length rw.Detector.distinct_races
+      in
+      Table.add_row table
+        [ d.er_app
+        ; string_of_int rd.Detector.hb_edges
+        ; Printf.sprintf "%d/%d" rd.Detector.fixpoint_passes
+            rw.Detector.fixpoint_passes
+        ; string_of_int rd.Detector.hb_word_ors
+        ; string_of_int rw.Detector.hb_word_ors
+        ; Printf.sprintf "%.3fs" hd
+        ; Printf.sprintf "%.3fs" hw
+        ; (if hw > 0. then Printf.sprintf "%.1fx" (hd /. hw) else "n/a")
+        ; Printf.sprintf "%d%s"
+            (List.length rd.Detector.all_races)
+            (if agree then "" else " MISMATCH")
+        ];
+      go rest
+    | _ :: _ ->
+      (* engine_comparison emits a dense/worklist pair per application *)
+      assert false
+  in
+  go eruns;
+  table
+
+let write_hb_engines_json path (eruns : engine_run list) =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot write --hb-engines-json file: %s\n" msg;
+      exit 2
+  in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"droidracer-hb-engines/1\",\n";
+  out "  \"apps\": [\n";
+  let engine_fields r =
+    Printf.sprintf
+      "{\"hb_edges\": %d, \"passes\": %d, \"word_ors\": %d, \
+       \"rows_requeued\": %d, \"hb_wall_seconds\": %.6f, \"races\": %d, \
+       \"distinct_races\": %d}"
+      r.Detector.hb_edges r.Detector.fixpoint_passes r.Detector.hb_word_ors
+      r.Detector.hb_rows_requeued
+      (Detector.phase_seconds r "happens_before")
+      (List.length r.Detector.all_races)
+      (List.length r.Detector.distinct_races)
+  in
+  let rec go = function
+    | [] -> ()
+    | d :: w :: rest when d.er_app = w.er_app ->
+      out "    {\"name\": \"%s\",\n" (json_escape d.er_app);
+      out "     \"dense\": %s,\n" (engine_fields d.er_report);
+      out "     \"worklist\": %s}%s\n"
+        (engine_fields w.er_report)
+        (if rest = [] then "" else ",");
+      go rest
+    | _ :: _ -> assert false
+  in
+  go eruns;
   out "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -263,6 +395,14 @@ let () =
     verify_dt;
   section "Performance (Section 6): coalescing and analysis cost";
   Table.print (Experiments.performance_table runs);
+  section "Closure engines: dense vs worklist";
+  let eruns, _ =
+    timed "hb_engine_comparison" (fun () ->
+      engine_comparison ~jobs:opts.jobs runs)
+  in
+  Table.print (hb_engine_table eruns);
+  Option.iter (fun path -> write_hb_engines_json path eruns)
+    opts.hb_engines_json;
   section "Ablation: specialized happens-before relations";
   ignore (timed "baseline_ablation" (fun () ->
     Table.print (Experiments.baseline_table runs)));

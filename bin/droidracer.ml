@@ -120,6 +120,29 @@ let jobs_arg =
     & opt int (Droidracer_core.Par_pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let hb_engine_arg =
+  let doc =
+    "Transitive-closure engine for the happens-before fixpoint: \
+     $(b,dense) re-propagates every row each pass, $(b,worklist) only \
+     re-propagates predecessors of rows that changed.  The computed \
+     relation (and hence every reported race) is identical; only the \
+     wall time differs."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("dense", Happens_before.Dense)
+           ; ("worklist", Happens_before.Worklist)
+           ])
+        Happens_before.Dense
+    & info [ "hb-engine" ] ~docv:"ENGINE" ~doc)
+
+let detector_config ~closure =
+  { Detector.default_config with
+    hb = { Happens_before.default with closure }
+  }
+
 (* {2 Telemetry}
 
    Shared by every subcommand that runs the analysis pipeline.  Any of
@@ -279,7 +302,7 @@ let analyze_cmd =
          & info [ "coverage" ]
              ~doc:"Group races by race coverage and print root races only.")
   in
-  let run file no_coalesce no_enables show_all coverage jobs telemetry =
+  let run file no_coalesce no_enables show_all coverage jobs closure telemetry =
     with_telemetry telemetry @@ fun () ->
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
@@ -287,7 +310,10 @@ let analyze_cmd =
       let config =
         { Detector.coalesce = not no_coalesce
         ; hb =
-            { Happens_before.default with enable_rule = not no_enables }
+            { Happens_before.default with
+              enable_rule = not no_enables
+            ; closure
+            }
         }
       in
       let report = Detector.analyze ~config ~jobs trace in
@@ -310,7 +336,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
     Term.(
       const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
-      $ jobs_arg $ telemetry_term)
+      $ jobs_arg $ hb_engine_arg $ telemetry_term)
 
 let trace_cmd =
   let output =
@@ -347,10 +373,13 @@ let detect_cmd =
              ~doc:
                "For each distinct race, print a minimal sub-trace that                 still exhibits it (delta debugging).")
   in
-  let run name seed events minimize_races jobs telemetry =
+  let run name seed events minimize_races jobs closure telemetry =
     with_telemetry telemetry @@ fun () ->
     let _, _, _, result = run_app name seed events in
-    let report = Detector.analyze ~jobs result.Runtime.observed in
+    let report =
+      Detector.analyze ~config:(detector_config ~closure) ~jobs
+        result.Runtime.observed
+    in
     Format.printf "%a@." Detector.pp_report report;
     if minimize_races then
       List.iter
@@ -372,7 +401,7 @@ let detect_cmd =
        ~doc:"Run an application and report the data races of its trace.")
     Term.(
       const run $ app_arg $ seed_arg $ events_arg $ minimize $ jobs_arg
-      $ telemetry_term)
+      $ hb_engine_arg $ telemetry_term)
 
 let explore_cmd =
   let bound =
@@ -428,10 +457,13 @@ let verify_cmd =
                 100 replays) instead of sampling; gives a definite verdict \
                 on small applications.")
   in
-  let run name seed events attempts exhaustive jobs telemetry =
+  let run name seed events attempts exhaustive jobs closure telemetry =
     with_telemetry telemetry @@ fun () ->
     let reg, options, events, result = run_app name seed events in
-    let report = Detector.analyze ~jobs result.Runtime.observed in
+    let report =
+      Detector.analyze ~config:(detector_config ~closure) ~jobs
+        result.Runtime.observed
+    in
     if report.Detector.all_races = [] then print_endline "no races detected"
     else
       List.iter
@@ -475,7 +507,7 @@ let verify_cmd =
           ordering of the racy accesses.")
     Term.(
       const run $ app_arg $ seed_arg $ events_arg $ attempts $ exhaustive
-      $ jobs_arg $ telemetry_term)
+      $ jobs_arg $ hb_engine_arg $ telemetry_term)
 
 let corpus_cmd =
   let verify =
@@ -487,7 +519,7 @@ let corpus_cmd =
     Arg.(value & opt (some string) None
          & info [ "app" ] ~docv:"NAME" ~doc:"Restrict to one application.")
   in
-  let run verify only jobs telemetry =
+  let run verify only jobs closure telemetry =
     with_telemetry telemetry @@ fun () ->
     let specs =
       match only with
@@ -497,7 +529,10 @@ let corpus_cmd =
          | Some s -> [ s ]
          | None -> or_die (Error (Printf.sprintf "unknown corpus app %S" name)))
     in
-    let runs = Experiments.run_catalog ~jobs ~specs () in
+    let runs =
+      Experiments.run_catalog ~jobs ~specs
+        ~config:(detector_config ~closure) ()
+    in
     Table.print (Experiments.table2 runs);
     print_newline ();
     Table.print (Experiments.table3 ~verify runs);
@@ -507,7 +542,7 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"Regenerate Tables 2 and 3 over the paper's application corpus.")
-    Term.(const run $ verify $ only $ jobs_arg $ telemetry_term)
+    Term.(const run $ verify $ only $ jobs_arg $ hb_engine_arg $ telemetry_term)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in

@@ -26,6 +26,8 @@ type report =
   ; uncoalesced_nodes : int
   ; hb_edges : int
   ; fixpoint_passes : int
+  ; hb_word_ors : int
+  ; hb_rows_requeued : int
   ; elapsed_seconds : float
   ; phase_seconds : (string * float) list
   }
@@ -113,6 +115,8 @@ let analyze ?(config = default_config) ?(jobs = 1) trace =
   ; uncoalesced_nodes = Trace.length trace
   ; hb_edges = Happens_before.edge_count hb
   ; fixpoint_passes = Happens_before.passes hb
+  ; hb_word_ors = Happens_before.word_ors hb
+  ; hb_rows_requeued = Happens_before.rows_requeued hb
   ; elapsed_seconds = Unix.gettimeofday () -. started
   ; phase_seconds = List.rev !phases_rev
   }

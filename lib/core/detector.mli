@@ -43,6 +43,10 @@ type report =
   ; uncoalesced_nodes : int  (** = trace length *)
   ; hb_edges : int
   ; fixpoint_passes : int
+  ; hb_word_ors : int
+      (** closure work metric, see {!Happens_before.word_ors} *)
+  ; hb_rows_requeued : int
+      (** rows (re-)propagated, see {!Happens_before.rows_requeued} *)
   ; elapsed_seconds : float  (** wall-clock (monotonic across domains) *)
   ; phase_seconds : (string * float) list
       (** wall-clock breakdown of {!elapsed_seconds} by pipeline phase,

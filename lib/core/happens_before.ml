@@ -5,6 +5,15 @@ module Lock_id = Ident.Lock_id
 
 type program_order = Android_po | Full_po
 
+type closure_engine = Dense | Worklist
+
+let closure_engine_name = function Dense -> "dense" | Worklist -> "worklist"
+
+let closure_engine_of_string = function
+  | "dense" -> Some Dense
+  | "worklist" -> Some Worklist
+  | _ -> None
+
 type config =
   { program_order : program_order
   ; enable_rule : bool
@@ -17,6 +26,7 @@ type config =
   ; lock_same_thread : bool
   ; front_rule : bool
   ; restricted_transitivity : bool
+  ; closure : closure_engine
   }
 
 let default =
@@ -31,6 +41,7 @@ let default =
   ; lock_same_thread = false
   ; front_rule = false
   ; restricted_transitivity = true
+  ; closure = Dense
   }
 
 (* Per-task data consumed by the FIFO and NOPRE rules. *)
@@ -48,6 +59,8 @@ type t =
   ; cfg : config
   ; matrix : Bit_matrix.t
   ; fixpoint_passes : int
+  ; word_ors : int
+  ; rows_requeued : int
   }
 
 let graph t = t.graph
@@ -70,18 +83,28 @@ let fifo_flavours_ok f1 f2 =
    count are identical for every [jobs] value. *)
 let closure_block_rows = 64
 
+(* The worklist engine uses its own, larger block constant: bigger
+   blocks mean more in-block Gauss–Seidel (live reads), so changes
+   cross the matrix in fewer drain rounds and stabilised rows stop
+   being re-pulled sooner.  Still a constant — never derived from the
+   jobs count — so the worklist fixpoint is also independent of
+   [jobs]. *)
+let worklist_block_rows = 1024
+
 let compute_impl ~config ~jobs g =
   let cfg = config in
   let trace = Graph.trace g in
   let n = Graph.node_count g in
   let m = Bit_matrix.create n in
-  (* Masks: for each thread, the set of its nodes. *)
+  (* Thread index per node, and per thread the mask of its nodes. *)
+  let tidx =
+    Array.init n (fun id -> Graph.thread_index g (Graph.thread_of_node g id))
+  in
   let thread_masks =
     Array.init (Graph.thread_count g) (fun _ -> Bit_matrix.Mask.create n)
   in
   for id = 0 to n - 1 do
-    let ti = Graph.thread_index g (Graph.thread_of_node g id) in
-    Bit_matrix.Mask.set thread_masks.(ti) id
+    Bit_matrix.Mask.set thread_masks.(tidx.(id)) id
   done;
   let node_of_pos = Graph.node_of_pos g in
   let add_edge_nodes src dst = if src <> dst then Bit_matrix.set m src dst in
@@ -138,32 +161,57 @@ let compute_impl ~config ~jobs g =
              | None -> ())
         | None -> ()))
     (Trace.tasks trace);
-  (* ATTACH-Q-MT. *)
-  if cfg.attach_rule then
+  (* ATTACH-Q-MT.  Each thread's attach-queue node is found once up
+     front; the per-post scan over [nodes_of_thread] was quadratic in
+     the number of cross-thread posts. *)
+  if cfg.attach_rule then begin
+    let attach_node : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun tid ->
+         match
+           List.find_opt
+             (fun id ->
+                match Graph.kind g id with
+                | Graph.Anchor pos ->
+                  (match Trace.op trace pos with
+                   | Operation.Attach_queue -> true
+                   | _ -> false)
+                | Graph.Access_block _ -> false)
+             (Graph.nodes_of_thread g tid)
+         with
+         | Some id -> Hashtbl.add attach_node (Thread_id.to_int tid) id
+         | None -> ())
+      (Trace.threads trace);
     Trace.iteri
       (fun i (e : Trace.event) ->
          match e.op with
          | Operation.Post { target; _ } when not (Thread_id.equal e.thread target)
            ->
-           (* find the target's attachQ *)
-           (match
-              List.find_opt
-                (fun id ->
-                   match Graph.kind g id with
-                   | Graph.Anchor pos ->
-                     (match Trace.op trace pos with
-                      | Operation.Attach_queue -> true
-                      | _ -> false)
-                   | Graph.Access_block _ -> false)
-                (Graph.nodes_of_thread g target)
-            with
+           (match Hashtbl.find_opt attach_node (Thread_id.to_int target) with
             | Some attach_node -> add_edge_nodes attach_node (node_of_pos i)
             | None -> ())
          | _ -> ())
-      trace;
-  (* FORK, JOIN, LOCK. *)
+      trace
+  end;
+  (* FORK, JOIN, LOCK.  Acquires and releases are bucketed per lock in
+     one pass (keyed by [Lock_id.t] directly, no string key), so the
+     LOCK rule pairs within a bucket instead of re-walking every
+     acquire binding of the hash table per release. *)
   let init_pos = Hashtbl.create 8 and exit_pos = Hashtbl.create 8 in
-  let releases = Hashtbl.create 8 and acquires = Hashtbl.create 8 in
+  let locks :
+    ( Lock_id.t
+    , (int * Thread_id.t) list ref * (int * Thread_id.t) list ref )
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let lock_bucket l =
+    match Hashtbl.find_opt locks l with
+    | Some b -> b
+    | None ->
+      let b = (ref [], ref []) in
+      Hashtbl.add locks l b;
+      b
+  in
   Trace.iteri
     (fun i (e : Trace.event) ->
        match e.op with
@@ -174,9 +222,11 @@ let compute_impl ~config ~jobs g =
          if not (Hashtbl.mem exit_pos (Thread_id.to_int e.thread)) then
            Hashtbl.add exit_pos (Thread_id.to_int e.thread) i
        | Operation.Release l ->
-         Hashtbl.add releases (Lock_id.to_string l) (i, e.thread)
+         let _, releases = lock_bucket l in
+         releases := (i, e.thread) :: !releases
        | Operation.Acquire l ->
-         Hashtbl.add acquires (Lock_id.to_string l) (i, e.thread)
+         let acquires, _ = lock_bucket l in
+         acquires := (i, e.thread) :: !acquires
        | _ -> ())
     trace;
   if cfg.fork_join_rules then
@@ -195,13 +245,18 @@ let compute_impl ~config ~jobs g =
       trace;
   if cfg.lock_rule then
     Hashtbl.iter
-      (fun l (ri, rt) ->
+      (fun _ (acquires, releases) ->
          List.iter
-           (fun (ai, at) ->
-              if ri < ai && (cfg.lock_same_thread || not (Thread_id.equal rt at))
-              then add_edge ri ai)
-           (Hashtbl.find_all acquires l))
-      releases;
+           (fun (ri, rt) ->
+              List.iter
+                (fun (ai, at) ->
+                   if
+                     ri < ai
+                     && (cfg.lock_same_thread || not (Thread_id.equal rt at))
+                   then add_edge ri ai)
+                !acquires)
+           !releases)
+      locks;
   (* Tasks grouped by the thread that executes them, for FIFO/NOPRE. *)
   let entries_by_target : (int, task_entry list ref) Hashtbl.t =
     Hashtbl.create 8
@@ -228,7 +283,9 @@ let compute_impl ~config ~jobs g =
           | None -> Hashtbl.add entries_by_target key (ref [ entry ]))
        | (Some _ | None), _ -> ())
     (Trace.tasks trace);
-  let apply_dynamic () =
+  (* [on_set src dst] fires once per edge the dynamic rules add — the
+     worklist engine uses it to requeue the changed row. *)
+  let apply_dynamic ~on_set () =
     let changed = ref false in
     if cfg.fifo_rule || cfg.nopre_rule then
       Hashtbl.iter
@@ -289,6 +346,7 @@ let compute_impl ~config ~jobs g =
                          in
                          if fifo || front || nopre () then begin
                            Bit_matrix.set m end_node begin_node;
+                           on_set end_node begin_node;
                            changed := true
                          end
                        | Some _ | None -> ())
@@ -297,75 +355,262 @@ let compute_impl ~config ~jobs g =
         entries_by_target;
     !changed
   in
-  (* The closure is block-synchronous: each pass snapshots the matrix,
-     then every block of [closure_block_rows] rows is brought up to
-     date independently — in-block rows are read live (Gauss–Seidel
-     within the block, rows high to low as before), rows of other
-     blocks are read from the snapshot.  A block only ever writes its
-     own rows, so blocks can run on separate domains with no shared
-     writes, and because the partition is fixed (never derived from
-     [jobs]) a pass computes the same matrix for every jobs value: the
-     fixpoint — and even the pass count — is bit-identical whether the
-     blocks run sequentially or in parallel. *)
-  let snapshot = Bit_matrix.copy m in
-  let blocks = Par_pool.ranges ~chunk:closure_block_rows n in
-  let closure_block (lo, hi) =
-    let changed = ref false in
-    for i = hi - 1 downto lo do
-      let succs = ref [] in
-      Bit_matrix.iter_row m i (fun k -> succs := k :: !succs);
-      let ti = Graph.thread_index g (Graph.thread_of_node g i) in
-      List.iter
-        (fun k ->
-           if k <> i then begin
-             let read = if k >= lo && k < hi then m else snapshot in
-             let c =
-               if not cfg.restricted_transitivity then
-                 Bit_matrix.or_row_between ~read ~write:m ~dst:i ~src:k
-               else if
-                 Thread_id.equal (Graph.thread_of_node g k)
-                   (Graph.thread_of_node g i)
-               then Bit_matrix.or_row_between ~read ~write:m ~dst:i ~src:k
-               else
-                 Bit_matrix.or_row_between_masked_compl ~read ~write:m ~dst:i
-                   ~src:k ~mask:thread_masks.(ti)
-             in
-             if c then changed := true
-           end)
-        (List.rev !succs)
-    done;
-    !changed
-  in
-  let closure_pass () =
-    Bit_matrix.blit ~src:m ~dst:snapshot;
-    let changes = Par_pool.parallel_map ~jobs closure_block blocks in
-    List.exists Fun.id changes
-  in
+  let wpr = Bit_matrix.words_per_row m in
+  let word_ors = ref 0 and rows_requeued = ref 0 in
   let passes = ref 0 in
-  (* One span per fixpoint pass, carrying the number of ordering pairs
-     the pass discovered (a population count, so only computed when
-     telemetry is on — the fixpoint itself never pays for it). *)
-  let rec fixpoint () =
-    incr passes;
-    let continue_ =
-      Obs.with_span "hb.pass"
-        ~args:[ ("pass", string_of_int !passes) ]
-        (fun () ->
-           let before = if Obs.enabled () then Bit_matrix.count m else 0 in
-           let c1 = Obs.with_span "hb.closure" closure_pass in
-           let c2 = Obs.with_span "hb.dynamic_rules" apply_dynamic in
-           if Obs.enabled () then begin
-             let added = Bit_matrix.count m - before in
-             Obs.set_span_arg "edges_added" (string_of_int added);
-             Obs.add ~n:added "hb.edges_added"
-           end;
-           c1 || c2)
+  (* Shared fixpoint driver: alternate a closure phase with the dynamic
+     rules until neither adds an edge.  One span per pass, carrying the
+     number of ordering pairs the pass discovered (a population count,
+     so only computed when telemetry is on — the fixpoint itself never
+     pays for it). *)
+  let run_fixpoint ~closure ~on_set =
+    let rec go () =
+      incr passes;
+      let continue_ =
+        Obs.with_span "hb.pass"
+          ~args:[ ("pass", string_of_int !passes) ]
+          (fun () ->
+             let before = if Obs.enabled () then Bit_matrix.count m else 0 in
+             let c1 = Obs.with_span "hb.closure" closure in
+             let c2 = Obs.with_span "hb.dynamic_rules" (apply_dynamic ~on_set) in
+             if Obs.enabled () then begin
+               let added = Bit_matrix.count m - before in
+               Obs.set_span_arg "edges_added" (string_of_int added);
+               Obs.add ~n:added "hb.edges_added"
+             end;
+             c1 || c2)
+      in
+      if continue_ then go ()
     in
-    if continue_ then fixpoint ()
+    go ()
   in
-  fixpoint ();
+  (match cfg.closure with
+   | Dense ->
+     (* The dense closure is block-synchronous: each pass snapshots the
+        matrix, then every block of [closure_block_rows] rows is brought
+        up to date independently — in-block rows are read live
+        (Gauss–Seidel within the block, rows high to low), rows of
+        other blocks are read from the snapshot.  A block only ever
+        writes its own rows, so blocks can run on separate domains with
+        no shared writes, and because the partition is fixed (never
+        derived from [jobs]) a pass computes the same matrix for every
+        jobs value: the fixpoint — and even the pass count — is
+        bit-identical whether the blocks run sequentially or in
+        parallel. *)
+     let snapshot = Bit_matrix.copy m in
+     let blocks = Par_pool.ranges ~chunk:closure_block_rows n in
+     let closure_block (lo, hi) =
+       let changed = ref false and ors = ref 0 in
+       for i = hi - 1 downto lo do
+         let succs = ref [] in
+         Bit_matrix.iter_row m i (fun k -> succs := k :: !succs);
+         let ti = tidx.(i) in
+         List.iter
+           (fun k ->
+              if k <> i then begin
+                let read = if k >= lo && k < hi then m else snapshot in
+                incr ors;
+                let c =
+                  if (not cfg.restricted_transitivity) || tidx.(k) = ti then
+                    Bit_matrix.or_row_between ~read ~write:m ~dst:i ~src:k
+                  else
+                    Bit_matrix.or_row_between_masked_compl ~read ~write:m
+                      ~dst:i ~src:k ~mask:thread_masks.(ti)
+                in
+                if c then changed := true
+              end)
+           (List.rev !succs)
+       done;
+       (!changed, !ors, hi - lo)
+     in
+     let closure_pass () =
+       Bit_matrix.blit ~src:m ~dst:snapshot;
+       let results = Par_pool.parallel_map ~jobs closure_block blocks in
+       List.fold_left
+         (fun any (c, ors, rows) ->
+            word_ors := !word_ors + (ors * wpr);
+            rows_requeued := !rows_requeued + rows;
+            any || c)
+         false results
+     in
+     run_fixpoint ~closure:closure_pass ~on_set:(fun _ _ -> ())
+   | Worklist ->
+     (* The worklist closure only re-propagates what changed — a
+        semi-naïve (delta) fixpoint.  Row [i] of [delta] holds the bits
+        added to row [i] of the matrix since [i] last broadcast them;
+        row [j] of [preds] indexes the rows whose bitset contains [j],
+        i.e. the rows that must re-absorb row [j] when it grows.  A row
+        with a non-empty delta is dirty.  Each drain round moves the
+        dirty set to D, captures each dirty row's delta as its [news]
+        row, and re-propagates into the targets T = D ∪ preds(D):
+        target [i] ORs the full (snapshotted) rows of its freshly added
+        successors — sources it has never absorbed — and only the
+        [news] of its long-standing dirty successors, so a source row
+        that keeps growing costs its predecessors just the new words,
+        not the whole row again.  Source ORs are bounded to the
+        non-empty word extent of the source (news rows are localised).
+        Targets are sharded into fixed [worklist_block_rows] blocks and
+        drained high-to-low (reverse trace order, so forward-pointing
+        HB chains settle in few rounds); D, S, T, the news capture and
+        the snapshot are computed sequentially before the blocks run,
+        blocks write only their own rows, and cross-block fresh reads
+        come from the snapshot — so the fixpoint matrix is independent
+        of [jobs].  Dirty marking and predecessor registration happen
+        sequentially after the round from the targets' delta rows.
+        Both engines close the same monotone rule system, so the
+        fixpoint matrix is bit-identical to {!Dense}; only the amount
+        of re-scanning differs. *)
+     let delta = Bit_matrix.copy m in
+     let preds = Bit_matrix.create n in
+     let news = Bit_matrix.create n in
+     let snap = Bit_matrix.create n in
+     let news_lo = Array.make n 0 and news_hi = Array.make n (-1) in
+     let snap_lo = Array.make n 0 and snap_hi = Array.make n (-1) in
+     let dirty = Bit_matrix.Mask.create n in
+     let d_mask = Bit_matrix.Mask.create n in
+     let s_mask = Bit_matrix.Mask.create n in
+     let t_mask = Bit_matrix.Mask.create n in
+     let dirty_count = ref 0 in
+     let mark_dirty i =
+       if not (Bit_matrix.Mask.mem dirty i) then begin
+         Bit_matrix.Mask.set dirty i;
+         incr dirty_count
+       end
+     in
+     for i = 0 to n - 1 do
+       if not (Bit_matrix.row_is_empty m i) then begin
+         mark_dirty i;
+         Bit_matrix.iter_row m i (fun j -> Bit_matrix.set preds j i)
+       end
+     done;
+     (* Dynamic-rule edges arrive between rounds: record the new bit as
+        pending news, index it, requeue the row. *)
+     let on_set src dst =
+       Bit_matrix.set delta src dst;
+       Bit_matrix.set preds dst src;
+       mark_dirty src
+     in
+     let round () =
+       Bit_matrix.Mask.clear d_mask;
+       Bit_matrix.Mask.clear s_mask;
+       Bit_matrix.Mask.clear t_mask;
+       Bit_matrix.Mask.iter dirty (fun i -> Bit_matrix.Mask.set d_mask i);
+       Bit_matrix.Mask.clear dirty;
+       dirty_count := 0;
+       (* News capture: each dirty row broadcasts (and thereby
+          consumes) its pending delta.  S = the union of the news — the
+          freshly added successors whose full rows targets will pull. *)
+       Bit_matrix.Mask.iter d_mask (fun i ->
+         Bit_matrix.blit_row ~src:delta ~dst:news i;
+         Bit_matrix.clear_row delta i;
+         let lo, hi = Bit_matrix.row_word_extent news i in
+         news_lo.(i) <- lo;
+         news_hi.(i) <- hi;
+         Bit_matrix.or_row_into_mask news ~src:i s_mask;
+         Bit_matrix.Mask.set t_mask i;
+         Bit_matrix.or_row_into_mask preds ~src:i t_mask);
+       Bit_matrix.Mask.iter s_mask (fun k ->
+         Bit_matrix.blit_row ~src:m ~dst:snap k;
+         let lo, hi = Bit_matrix.row_word_extent snap k in
+         snap_lo.(k) <- lo;
+         snap_hi.(k) <- hi);
+       (* Shard the targets into fixed [worklist_block_rows] blocks,
+          blocks and rows both descending. *)
+       let blocks = ref [] and cur_b = ref (-1) and cur_rows = ref [] in
+       Bit_matrix.Mask.iter t_mask (fun i ->
+         let b = i / worklist_block_rows in
+         if b <> !cur_b then begin
+           if !cur_b >= 0 then blocks := (!cur_b, !cur_rows) :: !blocks;
+           cur_b := b;
+           cur_rows := [ i ]
+         end
+         else cur_rows := i :: !cur_rows);
+       if !cur_b >= 0 then blocks := (!cur_b, !cur_rows) :: !blocks;
+       let blocks = !blocks in
+       let run_block (b, targets) =
+         let lo = b * worklist_block_rows in
+         let hi = min n (lo + worklist_block_rows) in
+         let pull = Bit_matrix.row_scratch m in
+         let own = Bit_matrix.row_scratch m in
+         let ors = ref 0 and rows = ref 0 in
+         List.iter
+           (fun i ->
+              incr rows;
+              if Bit_matrix.Mask.mem d_mask i then
+                Bit_matrix.copy_row news i pull
+              else Bit_matrix.clear_scratch pull;
+              Bit_matrix.copy_row m i own;
+              let ti = tidx.(i) in
+              let or_from read k w_lo w_hi =
+                if w_hi >= w_lo then begin
+                  ors := !ors + (w_hi - w_lo + 1);
+                  if (not cfg.restricted_transitivity) || tidx.(k) = ti then
+                    Bit_matrix.or_row_between_tracked_range ~read ~write:m
+                      ~delta ~dst:i ~src:k ~w_lo ~w_hi
+                  else
+                    Bit_matrix.or_row_between_masked_compl_tracked_range ~read
+                      ~write:m ~delta ~dst:i ~src:k ~mask:thread_masks.(ti)
+                      ~w_lo ~w_hi
+                end
+              in
+              Bit_matrix.iter_sources ~own ~mask:d_mask ~plus:pull
+                ~fresh:(fun k ->
+                  (* a successor [i] has never absorbed: its whole row,
+                     live within the block, snapshotted across blocks
+                     (the extent always comes from the snapshot, so the
+                     words visited are jobs-independent) *)
+                  if k <> i then
+                    or_from
+                      (if k >= lo && k < hi then m else snap)
+                      k snap_lo.(k) snap_hi.(k))
+                ~dirty:(fun k ->
+                  (* a long-standing successor that grew: only its news *)
+                  if k <> i then or_from news k news_lo.(k) news_hi.(k)))
+           targets;
+         (!ors, !rows)
+       in
+       let results = Par_pool.parallel_map ~jobs run_block blocks in
+       List.iter
+         (fun (ors, rows) ->
+            word_ors := !word_ors + ors;
+            rows_requeued := !rows_requeued + rows)
+         results;
+       (* A target whose delta row is non-empty gained bits this round:
+          it is dirty again, and its new successors enter the
+          predecessor index. *)
+       let changed = ref false in
+       List.iter
+         (fun (_, targets) ->
+            List.iter
+              (fun i ->
+                 if not (Bit_matrix.row_is_empty delta i) then begin
+                   changed := true;
+                   mark_dirty i;
+                   Bit_matrix.iter_row delta i (fun j ->
+                     Bit_matrix.set preds j i)
+                 end)
+              targets)
+         blocks;
+       !changed
+     in
+     let drain () =
+       let changed = ref false in
+       while !dirty_count > 0 do
+         if round () then changed := true
+       done;
+       !changed
+     in
+     run_fixpoint ~closure:drain ~on_set);
   Obs.add ~n:!passes "hb.passes";
-  { graph = g; cfg; matrix = m; fixpoint_passes = !passes }
+  Obs.add ~n:!word_ors "hb.word_ors";
+  Obs.add ~n:!rows_requeued "hb.rows_requeued";
+  { graph = g
+  ; cfg
+  ; matrix = m
+  ; fixpoint_passes = !passes
+  ; word_ors = !word_ors
+  ; rows_requeued = !rows_requeued
+  }
 
 let compute ?(config = default) ?(jobs = 1) g =
   Obs.with_span "hb.compute"
@@ -394,3 +639,5 @@ let same_thread t i j =
 let node_count t = Graph.node_count t.graph
 let edge_count t = Bit_matrix.count t.matrix
 let passes t = t.fixpoint_passes
+let word_ors t = t.word_ors
+let rows_requeued t = t.rows_requeued

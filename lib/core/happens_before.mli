@@ -29,6 +29,24 @@ type program_order =
       (** classic multi-threaded program order across the whole thread,
           regardless of task boundaries (baselines only) *)
 
+(** Which transitive-closure engine brings the matrix to its fixpoint.
+    Both compute the least fixpoint of the same monotone rule system,
+    so the resulting relation is bit-identical; only the amount of
+    re-scanning (and hence the pass count and wall time) differs. *)
+type closure_engine =
+  | Dense
+      (** block-synchronous full-matrix passes: every pass re-propagates
+          all n rows *)
+  | Worklist
+      (** sparse worklist: tracks dirty rows and a reverse-successor
+          index, re-propagating only the predecessors of rows that
+          actually changed, drained in reverse trace order *)
+
+val closure_engine_name : closure_engine -> string
+
+val closure_engine_of_string : string -> closure_engine option
+(** Recognises ["dense"] and ["worklist"]. *)
+
 type config =
   { program_order : program_order
   ; enable_rule : bool  (** ENABLE-ST and ENABLE-MT *)
@@ -52,6 +70,9 @@ type config =
   ; restricted_transitivity : bool
       (** [false] closes transitively without the thread side condition
           (naïve combination) *)
+  ; closure : closure_engine
+      (** which closure engine runs the fixpoint (default {!Dense});
+          the computed relation does not depend on the choice *)
   }
 
 val default : config
@@ -100,3 +121,13 @@ val edge_count : t -> int
 
 val passes : t -> int
 (** Fixpoint iterations used (for the benchmarks). *)
+
+val word_ors : t -> int
+(** Machine-word OR operations the closure engine performed — the
+    engine-comparison work metric ([hb.word_ors]).  Deterministic for a
+    given trace, config and engine, independent of [jobs]. *)
+
+val rows_requeued : t -> int
+(** Rows the closure engine (re-)propagated: n per pass for {!Dense},
+    the number of worklist targets drained for {!Worklist}
+    ([hb.rows_requeued]). *)

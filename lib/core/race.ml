@@ -50,30 +50,32 @@ let accesses trace =
 let detect ?(jobs = 1) trace ~hb =
   Obs.with_span "race.detect" ~args:[ ("jobs", string_of_int jobs) ]
   @@ fun () ->
-  let by_location = Hashtbl.create 64 in
+  (* Keyed by the structural [Location.t] itself — stringifying every
+     access allocated a fresh key per event for nothing.  Groups are
+     ordered by their earliest access position (unique per group, since
+     a trace position touches one location), which needs no
+     re-stringification either. *)
+  let by_location : (Location.t, access list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   List.iter
     (fun a ->
-       let key = Location.to_string a.location in
-       match Hashtbl.find_opt by_location key with
+       match Hashtbl.find_opt by_location a.location with
        | Some l -> l := a :: !l
-       | None -> Hashtbl.add by_location key (ref [ a ]))
+       | None -> Hashtbl.add by_location a.location (ref [ a ]))
     (accesses trace);
   let groups =
     Hashtbl.fold
-      (fun key accs acc ->
+      (fun _ accs acc ->
          (* in trace order *)
-         (key, Array.of_list (List.rev !accs)) :: acc)
+         Array.of_list (List.rev !accs) :: acc)
       by_location []
-    |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+    |> List.sort (fun a1 a2 ->
+      Int.compare a1.(0).position a2.(0).position)
   in
-  (* The scan over a location's accesses is quadratic, so one hot
-     location would serialise a per-location fan-out; chunk the
-     first-access index range instead.  The chunk size depends on
-     [jobs], which is fine: the final sort makes the output independent
-     of how the work was split. *)
   let work =
     List.concat_map
-      (fun (_, arr) ->
+      (fun arr ->
          let len = Array.length arr in
          let chunk =
            if jobs <= 1 then len
@@ -82,6 +84,11 @@ let detect ?(jobs = 1) trace ~hb =
          List.map (fun (lo, hi) -> (arr, lo, hi)) (Par_pool.ranges ~chunk len))
       groups
   in
+  (* The scan over a location's accesses is quadratic, so one hot
+     location would serialise a per-location fan-out; chunk the
+     first-access index range instead.  The chunk size depends on
+     [jobs], which is fine: the final sort makes the output independent
+     of how the work was split. *)
   let scan (arr, lo, hi) =
     Obs.with_span "race.chunk"
       ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]

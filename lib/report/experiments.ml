@@ -7,7 +7,7 @@ type app_run =
   ; ar_report : Detector.report
   }
 
-let run_spec spec =
+let run_spec ?(config = Detector.default_config) spec =
   Obs.with_span "corpus.app" ~args:[ ("app", spec.Synthetic.s_name) ]
   @@ fun () ->
   let built =
@@ -19,7 +19,7 @@ let run_spec spec =
   in
   { ar_built = built
   ; ar_result = result
-  ; ar_report = Detector.analyze result.Runtime.observed
+  ; ar_report = Detector.analyze ~config result.Runtime.observed
   }
 
 (* One domain per application: the corpus fan-out is embarrassingly
@@ -27,8 +27,9 @@ let run_spec spec =
    Each in-flight run keeps its whole trace and bit matrix live, so the
    analysis inside a run stays sequential — parallelism across
    applications already saturates the machine. *)
-let run_catalog ?(jobs = 1) ?(specs = Catalog.all) () =
-  Par_pool.parallel_map ~jobs run_spec specs
+let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
+    ?(config = Detector.default_config) () =
+  Par_pool.parallel_map ~jobs (run_spec ~config) specs
 
 (* The paper's thread counts exclude binder and other system threads. *)
 let app_thread_counts run =

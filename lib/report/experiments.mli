@@ -12,12 +12,17 @@ type app_run =
   ; ar_report : Detector.report
   }
 
-val run_spec : Synthetic.spec -> app_run
+val run_spec : ?config:Detector.config -> Synthetic.spec -> app_run
 (** Builds (with calibration), runs the representative test and analyses
-    its observed trace. *)
+    its observed trace with the given detector configuration (default
+    {!Detector.default_config}). *)
 
 val run_catalog :
-  ?jobs:int -> ?specs:Synthetic.spec list -> unit -> app_run list
+  ?jobs:int ->
+  ?specs:Synthetic.spec list ->
+  ?config:Detector.config ->
+  unit ->
+  app_run list
 (** All fifteen applications by default.  With [jobs > 1] (default 1)
     applications run on a {!Par_pool}, one domain per application; the
     returned runs are in spec order and identical (modulo wall-clock

@@ -420,9 +420,9 @@ let test_figure4_without_enable_modelling () =
 
 (* {1 Differential testing against the rule-by-rule oracle} *)
 
-let agrees ~coalesce t =
+let agrees ?config ~coalesce t =
   let reference = Reference_hb.compute t in
-  let r = Hb.compute (Graph.build ~coalesce t) in
+  let r = Hb.compute ?config (Graph.build ~coalesce t) in
   let n = Trace.length t in
   let ok = ref true in
   for i = 0 to n - 1 do
@@ -486,6 +486,66 @@ let prop_coalescing_preserves_hb =
        done;
        !ok)
 
+(* {1 Dense vs worklist closure engines}
+
+   Both engines compute the least fixpoint of the same monotone rule
+   system, so the resulting matrices must be bit-identical — for every
+   [jobs] value and every rule configuration.  Only pass counts may
+   differ. *)
+
+let engines_agree ?(config = Hb.default) ~jobs t =
+  let g = Graph.build ~coalesce:true t in
+  let rd = Hb.compute ~config:{ config with closure = Hb.Dense } ~jobs g in
+  let rw = Hb.compute ~config:{ config with closure = Hb.Worklist } ~jobs g in
+  let ok = ref (Hb.edge_count rd = Hb.edge_count rw) in
+  if not !ok then
+    Format.eprintf "engines disagree on edge count: dense=%d worklist=%d@."
+      (Hb.edge_count rd) (Hb.edge_count rw);
+  let n = Hb.node_count rd in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Hb.node_hb rd i j <> Hb.node_hb rw i j then begin
+        ok := false;
+        Format.eprintf
+          "engines disagree at nodes (%d,%d): dense=%b worklist=%b@." i j
+          (Hb.node_hb rd i j) (Hb.node_hb rw i j)
+      end
+    done
+  done;
+  !ok
+
+let prop_worklist_matches_dense =
+  QCheck2.Test.make ~name:"worklist closure equals dense (jobs 1 and 4)"
+    ~count:40
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 80))
+    (fun (seed, size) ->
+       let t = Random_trace.generate ~seed ~size () in
+       engines_agree ~jobs:1 t && engines_agree ~jobs:4 t)
+
+let prop_worklist_matches_dense_ablations =
+  QCheck2.Test.make ~name:"worklist equals dense under ablation configs"
+    ~count:20
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 60))
+    (fun (seed, size) ->
+       let t = Random_trace.generate ~seed ~size () in
+       List.for_all
+         (fun config -> engines_agree ~config ~jobs:1 t)
+         [ { Hb.default with restricted_transitivity = false }
+         ; { Hb.default with front_rule = true }
+         ; { Hb.default with lock_same_thread = true }
+         ; { Hb.default with program_order = Hb.Full_po }
+         ])
+
+let prop_worklist_matches_reference =
+  QCheck2.Test.make ~name:"worklist engine agrees with the rule oracle"
+    ~count:30
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 60))
+    (fun (seed, size) ->
+       agrees
+         ~config:{ Hb.default with closure = Hb.Worklist }
+         ~coalesce:true
+         (Random_trace.generate ~seed ~size ()))
+
 let () =
   Alcotest.run "happens_before"
     [ ( "rules"
@@ -525,5 +585,10 @@ let () =
         ; QCheck_alcotest.to_alcotest prop_engine_matches_reference_uncoalesced
         ; QCheck_alcotest.to_alcotest prop_hb_respects_trace_order
         ; QCheck_alcotest.to_alcotest prop_coalescing_preserves_hb
+        ] )
+    ; ( "closure engines"
+      , [ QCheck_alcotest.to_alcotest prop_worklist_matches_dense
+        ; QCheck_alcotest.to_alcotest prop_worklist_matches_dense_ablations
+        ; QCheck_alcotest.to_alcotest prop_worklist_matches_reference
         ] )
     ]

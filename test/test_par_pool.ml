@@ -124,6 +124,49 @@ let test_detector_determinism () =
          parallel.Detector.hb_edges)
     (Lazy.force corpus_traces)
 
+(* The choice of closure engine must be unobservable in the report
+   (pass counts and closure-work counters excepted): same races, same
+   classification, same edge counts, at every jobs value. *)
+let test_engine_independence () =
+  let strip report =
+    Format.asprintf "%a" Detector.pp_report
+      { report with
+        Detector.elapsed_seconds = 0.
+      ; fixpoint_passes = 0
+      ; hb_word_ors = 0
+      ; hb_rows_requeued = 0
+      ; phase_seconds = []
+      }
+  in
+  List.iter
+    (fun (name, trace) ->
+       let analyze closure jobs =
+         let config =
+           { Detector.default_config with
+             hb = { Detector.default_config.hb with closure }
+           }
+         in
+         Detector.analyze ~config ~jobs trace
+       in
+       let reference = strip (analyze Droidracer_core.Happens_before.Dense 1) in
+       List.iter
+         (fun jobs ->
+            List.iter
+              (fun closure ->
+                 Alcotest.check Alcotest.string
+                   (Printf.sprintf "%s: report engine-independent (%s, jobs=%d)"
+                      name
+                      (Droidracer_core.Happens_before.closure_engine_name
+                         closure)
+                      jobs)
+                   reference
+                   (strip (analyze closure jobs)))
+              [ Droidracer_core.Happens_before.Dense
+              ; Droidracer_core.Happens_before.Worklist
+              ])
+         [ 1; 4 ])
+    (Lazy.force corpus_traces)
+
 let test_run_catalog_determinism () =
   let specs =
     [ List.nth Catalog.open_source 0; List.nth Catalog.open_source 3 ]
@@ -177,6 +220,8 @@ let () =
             test_detector_determinism
         ; Alcotest.test_case "run_catalog jobs=1 vs jobs=3" `Quick
             test_run_catalog_determinism
+        ; Alcotest.test_case "closure engine independence" `Quick
+            test_engine_independence
         ] )
     ; ( "bit matrix"
       , [ Alcotest.test_case "copy and blit" `Quick test_matrix_copy_blit

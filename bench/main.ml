@@ -21,6 +21,7 @@
                    histograms and per-domain statistics as JSON. *)
 
 module Trace = Droidracer_trace.Trace
+module Wellformed = Droidracer_trace.Wellformed
 module Graph = Droidracer_core.Graph
 module Happens_before = Droidracer_core.Happens_before
 module Detector = Droidracer_core.Detector
@@ -320,6 +321,8 @@ let microbenchmarks (runs : Experiments.app_run list) =
            Happens_before.compute (Graph.build ~coalesce:false small)))
     ; Test.make ~name:"engines: online vector-clock detection"
         (Staged.stage (fun () -> Clock_engine.detect medium))
+    ; Test.make ~name:"ingest: wellformed admissibility check"
+        (Staged.stage (fun () -> Wellformed.check medium))
     ]
   in
   let ols =
@@ -383,6 +386,31 @@ let () =
   in
   Printf.printf "generated and analysed %d traces in %.1fs wall (%d jobs)\n"
     (List.length runs) corpus_dt opts.jobs;
+  section "Ingest validation (the admissibility gate)";
+  let rejected, validate_dt =
+    timed "ingest_validation" (fun () ->
+      List.filter
+        (fun run ->
+           match Wellformed.check run.Experiments.ar_result.Runtime.observed with
+           | Ok _ -> false
+           | Error e ->
+             Printf.printf "REJECTED %s: %s\n"
+               run.Experiments.ar_built.Synthetic.b_spec.Synthetic.s_name
+               (Wellformed.error_message e);
+             true)
+        runs)
+  in
+  let total_events =
+    List.fold_left
+      (fun acc r -> acc + Trace.length r.Experiments.ar_result.Runtime.observed)
+      0 runs
+  in
+  Printf.printf
+    "validated %d events across %d traces in %.3fs wall (%.1f Mev/s), %d \
+     rejected\n"
+    total_events (List.length runs) validate_dt
+    (float_of_int total_events /. 1e6 /. Float.max 1e-9 validate_dt)
+    (List.length rejected);
   section "Table 2";
   Table.print (Experiments.table2 runs);
   section "Table 3";

@@ -2,6 +2,7 @@
 
    Subcommands:
    - [analyze FILE]  offline race detection on a trace file
+   - [validate FILE] admissibility-check trace files (streaming)
    - [trace APP]     generate a trace from a modeled application
    - [explore APP]   systematic UI exploration + race detection
    - [verify APP]    detect and verify races via schedule perturbation
@@ -10,6 +11,7 @@
 
 module Trace = Droidracer_trace.Trace
 module Trace_io = Droidracer_trace.Trace_io
+module Wellformed = Droidracer_trace.Wellformed
 module Step = Droidracer_semantics.Step
 module Happens_before = Droidracer_core.Happens_before
 module Detector = Droidracer_core.Detector
@@ -26,6 +28,7 @@ module Explorer = Droidracer_explorer.Explorer
 module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
 module Experiments = Droidracer_report.Experiments
+module Supervisor = Droidracer_report.Supervisor
 module Table = Droidracer_report.Table
 module Obs = Droidracer_obs.Obs
 open Cmdliner
@@ -142,6 +145,32 @@ let detector_config ~closure =
   { Detector.default_config with
     hb = { Happens_before.default with closure }
   }
+
+(* {2 Supervision budgets} *)
+
+let budget_term =
+  let timeout =
+    let doc =
+      "Wall-clock budget in seconds per analysis (checked between \
+       pipeline phases); over budget the run is reported as timed out \
+       instead of blocking the sweep."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_events =
+    let doc =
+      "Event-count budget: traces longer than $(docv) are analysed \
+       with the sparse worklist closure engine instead of the dense \
+       one (identical relation, graceful degradation)."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  Term.(
+    const (fun timeout_seconds max_events ->
+      { Supervisor.timeout_seconds; max_events })
+    $ timeout $ max_events)
 
 (* {2 Telemetry}
 
@@ -302,7 +331,8 @@ let analyze_cmd =
          & info [ "coverage" ]
              ~doc:"Group races by race coverage and print root races only.")
   in
-  let run file no_coalesce no_enables show_all coverage jobs closure telemetry =
+  let run file no_coalesce no_enables show_all coverage jobs closure budget
+      telemetry =
     with_telemetry telemetry @@ fun () ->
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
@@ -316,7 +346,17 @@ let analyze_cmd =
             }
         }
       in
-      let report = Detector.analyze ~config ~jobs trace in
+      let report =
+        match Supervisor.analyze ~config ~jobs ~budget ~name:file trace with
+        | Ok report -> report
+        | Error f ->
+          or_die
+            (Error
+               (Printf.sprintf "%s (%s after %.3fs)"
+                  (Supervisor.reason_detail f.Supervisor.f_reason)
+                  (Supervisor.reason_label f.Supervisor.f_reason)
+                  f.Supervisor.f_elapsed))
+      in
       Format.printf "%a@." Detector.pp_report report;
       if show_all then
         List.iter
@@ -336,7 +376,105 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
     Term.(
       const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
-      $ jobs_arg $ hb_engine_arg $ telemetry_term)
+      $ jobs_arg $ hb_engine_arg $ budget_term $ telemetry_term)
+
+let validate_cmd =
+  let files =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"TRACE" ~doc:"Trace files to validate.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Write the per-file validation report as JSON to $(docv).")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ] ~doc:"Suppress per-file statistics.")
+  in
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let run files json_out quiet =
+    let results =
+      List.map (fun file -> (file, Wellformed.check_file file)) files
+    in
+    List.iter
+      (fun (file, result) ->
+         match result with
+         | Ok stats ->
+           if not quiet then
+             Format.printf "%s: OK (%a)@." file Wellformed.pp_stats stats
+           else Format.printf "%s: OK@." file
+         | Error failure ->
+           Format.printf "%s: REJECTED: %a@." file Wellformed.pp_failure
+             failure)
+      results;
+    Option.iter
+      (fun path ->
+         let buf = Buffer.create 512 in
+         Buffer.add_string buf
+           "{\"schema\":\"droidracer-validation/1\",\"files\":[";
+         List.iteri
+           (fun i (file, result) ->
+              if i > 0 then Buffer.add_char buf ',';
+              match result with
+              | Ok (stats : Wellformed.stats) ->
+                Printf.bprintf buf
+                  "{\"file\":\"%s\",\"status\":\"ok\",\"events\":%d,\"threads\":%d,\"tasks\":%d,\"locks\":%d}"
+                  (json_escape file) stats.Wellformed.events
+                  stats.Wellformed.threads stats.Wellformed.tasks
+                  stats.Wellformed.locks
+              | Error failure ->
+                let rule =
+                  match failure with
+                  | Wellformed.Violation e ->
+                    Printf.sprintf "\"%s\"" (Wellformed.rule_name e.Wellformed.rule)
+                  | Wellformed.Syntax _ -> "\"syntax\""
+                  | Wellformed.Io _ -> "\"io\""
+                in
+                Printf.bprintf buf
+                  "{\"file\":\"%s\",\"status\":\"rejected\",\"rule\":%s,\"line\":%s,\"message\":\"%s\"}"
+                  (json_escape file) rule
+                  (match Wellformed.failure_line failure with
+                   | Some l -> string_of_int l
+                   | None -> "null")
+                  (json_escape (Wellformed.failure_message failure)))
+           results;
+         Buffer.add_string buf "]}\n";
+         Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc (Buffer.contents buf));
+         Printf.eprintf "wrote validation report to %s\n%!" path)
+      json_out;
+    let rejected =
+      List.length (List.filter (fun (_, r) -> Result.is_error r) results)
+    in
+    if rejected > 0 then begin
+      Printf.eprintf "droidracer: %d of %d file(s) rejected\n%!" rejected
+        (List.length results);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check trace files against the Figure 5 admissibility rules \
+          (streaming, constant memory); exits non-zero if any file is \
+          rejected.")
+    Term.(const run $ files $ json_out $ quiet)
 
 let trace_cmd =
   let output =
@@ -519,30 +657,75 @@ let corpus_cmd =
     Arg.(value & opt (some string) None
          & info [ "app" ] ~docv:"NAME" ~doc:"Restrict to one application.")
   in
-  let run verify only jobs closure telemetry =
+  let inject_faults =
+    Arg.(value & opt (some int) None
+         & info [ "inject-faults" ] ~docv:"SEED"
+             ~doc:
+               "Deterministically inject supervisor faults (parse errors, \
+                validator rejects, crashes, timeouts) decided by $(docv); \
+                affected applications appear as failure rows, healthy ones \
+                still complete.")
+  in
+  let failures_json =
+    Arg.(value & opt (some string) None
+         & info [ "failures-json" ] ~docv:"FILE"
+             ~doc:"Write the failed-application rows as JSON to $(docv).")
+  in
+  let open_source =
+    Arg.(value & flag
+         & info [ "open-source" ]
+             ~doc:"Restrict to the open-source applications (faster).")
+  in
+  let run verify only open_source jobs closure budget inject_faults
+      failures_json telemetry =
     with_telemetry telemetry @@ fun () ->
     let specs =
       match only with
-      | None -> Catalog.all
+      | None -> if open_source then Catalog.open_source else Catalog.all
       | Some name ->
         (match Catalog.find name with
          | Some s -> [ s ]
          | None -> or_die (Error (Printf.sprintf "unknown corpus app %S" name)))
     in
-    let runs =
-      Experiments.run_catalog ~jobs ~specs
-        ~config:(detector_config ~closure) ()
+    let sweep () =
+      Supervisor.run_catalog ~jobs ~specs ~config:(detector_config ~closure)
+        ~budget ()
     in
-    Table.print (Experiments.table2 runs);
-    print_newline ();
-    Table.print (Experiments.table3 ~verify runs);
-    print_newline ();
-    Table.print (Experiments.performance_table runs)
+    let outcomes =
+      match inject_faults with
+      | Some seed -> Supervisor.with_faults ~seed sweep
+      | None -> sweep ()
+    in
+    let runs = Supervisor.completed outcomes in
+    let failed = Supervisor.failures outcomes in
+    if runs <> [] then begin
+      Table.print (Experiments.table2 runs);
+      print_newline ();
+      Table.print (Experiments.table3 ~verify runs);
+      print_newline ();
+      Table.print (Experiments.performance_table runs)
+    end;
+    if failed <> [] then begin
+      if runs <> [] then print_newline ();
+      Table.print (Supervisor.failure_table failed)
+    end;
+    Option.iter
+      (fun path ->
+         Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc
+             (Supervisor.failures_json_string failed));
+         Printf.eprintf "wrote failure report to %s\n%!" path)
+      failures_json
   in
   Cmd.v
     (Cmd.info "corpus"
-       ~doc:"Regenerate Tables 2 and 3 over the paper's application corpus.")
-    Term.(const run $ verify $ only $ jobs_arg $ hb_engine_arg $ telemetry_term)
+       ~doc:
+         "Regenerate Tables 2 and 3 over the paper's application corpus \
+          (supervised: misbehaving applications become failure rows, not \
+          crashes).")
+    Term.(
+      const run $ verify $ only $ open_source $ jobs_arg $ hb_engine_arg
+      $ budget_term $ inject_faults $ failures_json $ telemetry_term)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in
@@ -561,6 +744,7 @@ let () =
        (Cmd.group info
           [ list_cmd
           ; analyze_cmd
+          ; validate_cmd
           ; trace_cmd
           ; detect_cmd
           ; explore_cmd

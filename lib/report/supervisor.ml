@@ -1,0 +1,324 @@
+open! Import
+
+(* {1 Budgets} *)
+
+type budget =
+  { timeout_seconds : float option
+  ; max_events : int option
+  }
+
+let no_budget = { timeout_seconds = None; max_events = None }
+
+(* {1 Outcomes} *)
+
+type reason =
+  | Rejected of string
+  | Crashed of string
+  | Timed_out of float
+
+let reason_label = function
+  | Rejected _ -> "rejected"
+  | Crashed _ -> "crashed"
+  | Timed_out _ -> "timeout"
+
+let reason_detail = function
+  | Rejected msg | Crashed msg -> msg
+  | Timed_out t -> Printf.sprintf "wall-clock budget of %gs exceeded" t
+
+type failure =
+  { f_app : string
+  ; f_reason : reason
+  ; f_elapsed : float
+  ; f_retries : int
+  }
+
+type outcome =
+  | Completed of Experiments.app_run
+  | Failed of failure
+
+let completed outcomes =
+  List.filter_map
+    (function Completed r -> Some r | Failed _ -> None)
+    outcomes
+
+let failures outcomes =
+  List.filter_map (function Failed f -> Some f | Completed _ -> None) outcomes
+
+let failure_table fs =
+  let table =
+    Table.create ~title:"Supervisor: applications that did not complete"
+      ~columns:[ "Application"; "Outcome"; "Reason"; "Elapsed"; "Retries" ]
+  in
+  List.iter
+    (fun f ->
+       Table.add_row table
+         [ f.f_app
+         ; reason_label f.f_reason
+         ; reason_detail f.f_reason
+         ; Printf.sprintf "%.3fs" f.f_elapsed
+         ; string_of_int f.f_retries
+         ])
+    fs;
+  table
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let failures_json_string fs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"schema\":\"droidracer-failures/1\",\"failures\":[";
+  List.iteri
+    (fun i f ->
+       if i > 0 then Buffer.add_char buf ',';
+       Printf.bprintf buf
+         "{\"app\":\"%s\",\"outcome\":\"%s\",\"reason\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d}"
+         (json_escape f.f_app)
+         (reason_label f.f_reason)
+         (json_escape (reason_detail f.f_reason))
+         f.f_elapsed f.f_retries)
+    fs;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* {1 Fault injection}
+
+   The plan must be a pure function of (seed, application name): the
+   same rows come out for jobs = 1 and jobs = 4, and a test can predict
+   every outcome without running the sweep.  [Hashtbl.hash] is not
+   guaranteed stable across compiler versions, so the mix is spelled
+   out (FNV-1a). *)
+
+type fault =
+  | Parse_fault
+  | Reject_fault
+  | Crash_fault
+  | Timeout_fault
+
+let fault_name = function
+  | Parse_fault -> "parse"
+  | Reject_fault -> "reject"
+  | Crash_fault -> "crash"
+  | Timeout_fault -> "timeout"
+
+type decision =
+  { d_fault : fault option
+  ; d_transient : bool
+  }
+
+let fnv1a seed app =
+  let h = ref 0x811c9dc5 in
+  let feed byte =
+    h := (!h lxor byte) * 0x01000193 land 0x3FFFFFFF
+  in
+  feed (seed land 0xff);
+  feed ((seed asr 8) land 0xff);
+  feed ((seed asr 16) land 0xff);
+  feed ((seed asr 24) land 0xff);
+  String.iter (fun c -> feed (Char.code c)) app;
+  !h
+
+let fault_decision ~seed ~app =
+  let h = fnv1a seed app in
+  if h mod 3 <> 0 then { d_fault = None; d_transient = false }
+  else
+    let fault =
+      match h / 3 mod 4 with
+      | 0 -> Parse_fault
+      | 1 -> Reject_fault
+      | 2 -> Crash_fault
+      | _ -> Timeout_fault
+    in
+    { d_fault = Some fault; d_transient = h / 12 mod 2 = 0 }
+
+(* The installed plan, visible to every worker domain. *)
+let fault_seed : int option Atomic.t = Atomic.make None
+
+let with_faults ~seed f =
+  Atomic.set fault_seed (Some seed);
+  Fun.protect ~finally:(fun () -> Atomic.set fault_seed None) f
+
+(* {1 The supervised pipeline} *)
+
+exception Rejected_exn of string
+exception Timed_out_exn of float
+
+let injected cls ~attempt name =
+  match Atomic.get fault_seed with
+  | None -> false
+  | Some seed ->
+    let d = fault_decision ~seed ~app:name in
+    (match d.d_fault with
+     | Some f when f = cls -> (not d.d_transient) || attempt = 0
+     | Some _ | None -> false)
+
+(* Analyses run inside the calling domain, so the wall-clock budget is
+   cooperative: the deadline is checked between pipeline phases, never
+   preemptively. *)
+let checkpoint ~deadline =
+  match deadline with
+  | Some (d, t) when Unix.gettimeofday () > d -> raise (Timed_out_exn t)
+  | Some _ | None -> ()
+
+(* Over the event budget the analysis degrades instead of refusing:
+   the sparse worklist engine computes the identical relation with far
+   less re-scanning (see Happens_before.closure_engine). *)
+let budgeted_config ~budget ~events config =
+  match budget.max_events with
+  | Some cap
+    when events > cap
+         && config.Detector.hb.Happens_before.closure = Happens_before.Dense
+    ->
+    Obs.add "supervisor.fallbacks";
+    Obs.set_span_arg "closure_fallback" "worklist";
+    { config with
+      Detector.hb =
+        { config.Detector.hb with Happens_before.closure = Happens_before.Worklist }
+    }
+  | _ -> config
+
+let validate_observed name trace =
+  match Obs.with_span "supervisor.validate" (fun () -> Wellformed.check trace) with
+  | Ok _stats -> ()
+  | Error e ->
+    raise
+      (Rejected_exn
+         (Printf.sprintf "%s: observed trace rejected: %s" name
+            (Wellformed.error_message e)))
+
+let attempt_app ~config ~budget ~attempt spec =
+  let name = spec.Synthetic.s_name in
+  Obs.with_span "supervisor.app"
+    ~args:[ ("app", name); ("attempt", string_of_int attempt) ]
+  @@ fun () ->
+  let deadline =
+    Option.map
+      (fun t -> (Unix.gettimeofday () +. t, t))
+      budget.timeout_seconds
+  in
+  if injected Timeout_fault ~attempt name then
+    raise
+      (Timed_out_exn (Option.value budget.timeout_seconds ~default:0.0));
+  if injected Parse_fault ~attempt name then
+    raise
+      (Rejected_exn
+         (Printf.sprintf "%s: %s" name
+            (Trace_io.parse_error_message
+               { Trace_io.pe_line = 1
+               ; pe_column = 1
+               ; pe_token = Some "\xffinjected"
+               ; pe_message = "injected parse fault: expected a thread id like t0"
+               })));
+  let built = Obs.with_span "supervisor.build" (fun () -> Synthetic.build spec) in
+  checkpoint ~deadline;
+  let result =
+    Obs.with_span "supervisor.run" (fun () ->
+      Runtime.run ~options:built.Synthetic.b_options built.Synthetic.b_app
+        built.Synthetic.b_events)
+  in
+  checkpoint ~deadline;
+  let observed = result.Runtime.observed in
+  if injected Reject_fault ~attempt name then
+    raise
+      (Rejected_exn
+         (Printf.sprintf
+            "%s: observed trace rejected: line 1: [fifo-violation] injected \
+             validator reject"
+            name));
+  validate_observed name observed;
+  checkpoint ~deadline;
+  let config = budgeted_config ~budget ~events:(Trace.length observed) config in
+  if injected Crash_fault ~attempt name then
+    failwith "injected task exception";
+  let report =
+    Obs.with_span "supervisor.analyze" (fun () ->
+      Detector.analyze ~config observed)
+  in
+  checkpoint ~deadline;
+  { Experiments.ar_built = built; ar_result = result; ar_report = report }
+
+let run_app ?(config = Detector.default_config) ?(budget = no_budget) spec =
+  let name = spec.Synthetic.s_name in
+  let started = Unix.gettimeofday () in
+  let once attempt =
+    match attempt_app ~config ~budget ~attempt spec with
+    | run -> Ok run
+    | exception Rejected_exn msg ->
+      Obs.add "ingest.rejected";
+      Error (Rejected msg)
+    | exception Timed_out_exn t ->
+      Obs.add "supervisor.timeouts";
+      Error (Timed_out t)
+    | exception exn -> Error (Crashed (Printexc.to_string exn))
+  in
+  let fail reason retries =
+    Failed
+      { f_app = name
+      ; f_reason = reason
+      ; f_elapsed = Unix.gettimeofday () -. started
+      ; f_retries = retries
+      }
+  in
+  match once 0 with
+  | Ok run -> Completed run
+  | Error (Rejected _ as reason) ->
+    (* Rejection is a verdict about the input, which a retry cannot
+       change; crashes and timeouts may be environmental. *)
+    fail reason 0
+  | Error (Crashed _ | Timed_out _) ->
+    Obs.add "supervisor.retries";
+    (match once 1 with
+     | Ok run -> Completed run
+     | Error reason -> fail reason 1)
+
+let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
+    ?(config = Detector.default_config) ?(budget = no_budget) () =
+  Obs.with_span "supervisor.catalog" @@ fun () ->
+  Par_pool.parallel_map ~jobs (fun spec -> run_app ~config ~budget spec) specs
+
+let analyze ?(config = Detector.default_config) ?(jobs = 1)
+    ?(budget = no_budget) ~name trace =
+  let started = Unix.gettimeofday () in
+  let fail reason =
+    Error
+      { f_app = name
+      ; f_reason = reason
+      ; f_elapsed = Unix.gettimeofday () -. started
+      ; f_retries = 0
+      }
+  in
+  match
+    Obs.with_span "supervisor.analyze_one" ~args:[ ("name", name) ]
+    @@ fun () ->
+    let deadline =
+      Option.map
+        (fun t -> (Unix.gettimeofday () +. t, t))
+        budget.timeout_seconds
+    in
+    validate_observed name trace;
+    checkpoint ~deadline;
+    let config = budgeted_config ~budget ~events:(Trace.length trace) config in
+    let report = Detector.analyze ~config ~jobs trace in
+    checkpoint ~deadline;
+    report
+  with
+  | report -> Ok report
+  | exception Rejected_exn msg ->
+    Obs.add "ingest.rejected";
+    fail (Rejected msg)
+  | exception Timed_out_exn t ->
+    Obs.add "supervisor.timeouts";
+    fail (Timed_out t)
+  | exception exn -> fail (Crashed (Printexc.to_string exn))

@@ -1,0 +1,139 @@
+open! Import
+
+(** Fault-tolerant supervision of corpus sweeps and single analyses.
+
+    {!Experiments.run_catalog} aborts the whole sweep when any one
+    application misbehaves; at the production scale the ROADMAP aims for
+    that is unacceptable — one bad input must cost one row, not the
+    fleet.  This module wraps the build → run → ingest → analyze
+    pipeline of one application with:
+
+    - an {e ingest gate}: the observed trace is validated by
+      {!Wellformed.check} before any analysis sees it (counter
+      [ingest.rejected] on refusal);
+    - a {e wall-clock budget}: cooperative deadline checks between
+      pipeline phases (analyses are single-process domains, so the
+      check is at phase granularity, not preemptive) — counter
+      [supervisor.timeouts];
+    - an {e event-count budget} with graceful degradation: over budget
+      the detector is switched from the dense closure engine to the
+      sparse worklist engine instead of refusing the trace (counter
+      [supervisor.fallbacks]; the computed relation is identical, only
+      the re-scanning cost differs);
+    - {e exception capture}: any exception becomes a {!failure} row
+      carrying the application, reason and elapsed time;
+    - {e retry-once}: crashes and timeouts are retried exactly once
+      (counter [supervisor.retries]); rejected input is deterministic,
+      so rejections are never retried.
+
+    Outcomes are deterministic across [jobs] values: {!Par_pool}
+    preserves order, and the fault plan of {!with_faults} is a pure
+    function of the seed and the application name, independent of
+    scheduling. *)
+
+(** {1 Budgets} *)
+
+type budget =
+  { timeout_seconds : float option
+        (** wall-clock budget per attempt; checked between phases *)
+  ; max_events : int option
+        (** observed-trace length above which the analysis falls back
+            to the worklist closure engine *)
+  }
+
+val no_budget : budget
+
+(** {1 Outcomes} *)
+
+type reason =
+  | Rejected of string
+      (** the ingest gate refused the trace (validator diagnosis) *)
+  | Crashed of string  (** exception captured ([Printexc.to_string]) *)
+  | Timed_out of float  (** the wall-clock budget that was exceeded *)
+
+val reason_label : reason -> string
+(** Stable identifiers: ["rejected"], ["crashed"], ["timeout"]. *)
+
+val reason_detail : reason -> string
+
+type failure =
+  { f_app : string
+  ; f_reason : reason
+  ; f_elapsed : float  (** wall-clock across all attempts *)
+  ; f_retries : int  (** 0 or 1 *)
+  }
+
+type outcome =
+  | Completed of Experiments.app_run
+  | Failed of failure
+
+val completed : outcome list -> Experiments.app_run list
+
+val failures : outcome list -> failure list
+
+val failure_table : failure list -> Table.t
+
+val failures_json_string : failure list -> string
+(** Schema [droidracer-failures/1]: one object per failed application
+    with [app], [outcome] ({!reason_label}), [reason], [elapsed_seconds]
+    and [retries] — the artefact CI archives. *)
+
+(** {1 Fault injection}
+
+    Degradation paths must themselves be testable, so the supervisor can
+    deterministically inject each failure class.  The plan is a pure
+    function of the seed and the application name — independent of
+    [jobs], scheduling, and which other applications run — so tests and
+    CI can predict every row. *)
+
+type fault =
+  | Parse_fault  (** ingestion fails with a syntax diagnosis *)
+  | Reject_fault  (** the validator refuses the trace *)
+  | Crash_fault  (** the analysis task raises *)
+  | Timeout_fault  (** the wall-clock budget fires *)
+
+val fault_name : fault -> string
+
+type decision =
+  { d_fault : fault option
+  ; d_transient : bool
+        (** a transient fault hits only the first attempt, so retry-once
+            recovers; a persistent one hits both attempts *)
+  }
+
+val fault_decision : seed:int -> app:string -> decision
+(** The plan for one application under one seed. *)
+
+val with_faults : seed:int -> (unit -> 'a) -> 'a
+(** [with_faults ~seed f] runs [f] with the fault plan for [seed]
+    installed (an atomic, so worker domains see it too); the plan is
+    removed when [f] returns or raises. *)
+
+(** {1 Supervised drivers} *)
+
+val run_app :
+  ?config:Detector.config -> ?budget:budget -> Synthetic.spec -> outcome
+(** One application through the supervised pipeline (build, run,
+    validate, analyze), with retry-once. *)
+
+val run_catalog :
+  ?jobs:int ->
+  ?specs:Synthetic.spec list ->
+  ?config:Detector.config ->
+  ?budget:budget ->
+  unit ->
+  outcome list
+(** The supervised {!Experiments.run_catalog}: same order and
+    parallelism contract, but misbehaving applications yield {!Failed}
+    rows instead of aborting the sweep. *)
+
+val analyze :
+  ?config:Detector.config ->
+  ?jobs:int ->
+  ?budget:budget ->
+  name:string ->
+  Trace.t ->
+  (Detector.report, failure) result
+(** Supervised single-trace analysis: the ingest gate, budgets and
+    exception capture of {!run_app} around {!Detector.analyze} (no
+    retry — a single analysis is deterministic). *)

@@ -18,21 +18,82 @@
     v}
 
     Blank lines and [#] comments are ignored.  [print] then [parse] is
-    the identity on traces (property-tested). *)
+    the identity on traces (property-tested).
+
+    Files are consumed by a {e streaming} reader: {!load},
+    {!fold_events} and {!read} parse one line at a time and never
+    materialise the whole file as a string, so multi-million-event
+    traces stream through in constant memory (plus, for the readers
+    that build a {!Trace.t}, the events themselves). *)
 
 val print : Format.formatter -> Trace.t -> unit
 
 val to_string : Trace.t -> string
 
+(** {1 Structured parse errors} *)
+
+type parse_error =
+  { pe_line : int  (** 1-based; 0 when parsing a bare line *)
+  ; pe_column : int  (** 1-based byte column of the offending token *)
+  ; pe_token : string option  (** the offending token, verbatim *)
+  ; pe_message : string  (** what was expected *)
+  }
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+(** ["line L, column C: message (at "token")"]. *)
+
+val parse_error_message : parse_error -> string
+
+type read_error =
+  | Parse of parse_error
+  | Ill_formed of string  (** structurally invalid ({!Trace.of_events}) *)
+  | Io of string  (** file system errors *)
+
+val pp_read_error : Format.formatter -> read_error -> unit
+
+val read_error_message : read_error -> string
+
+(** {1 Parsing} *)
+
+val parse_event_located :
+  ?line:int -> string -> (Trace.event option, parse_error) result
+(** Parses one line; [Ok None] for blank/comment lines.  Every error
+    carries the column and token that failed (and [line], default 0,
+    as [pe_line]). *)
+
 val parse_event : string -> (Trace.event option, string) result
-(** Parses one line; [Ok None] for blank/comment lines. *)
+(** {!parse_event_located} with the error rendered as a string (column
+    and token context included, no line prefix). *)
 
 val parse : string -> (Trace.t, string) result
-(** Parses a whole trace from a string.  Errors are prefixed with the
-    1-based line number. *)
+(** Parses a whole trace from an in-memory string.  Errors are prefixed
+    with the 1-based line number and include the column and offending
+    token. *)
+
+(** {1 Streaming input} *)
+
+val fold_channel :
+  In_channel.t ->
+  init:'a ->
+  f:('a -> line:int -> Trace.event -> 'a) ->
+  ('a, read_error) result
+(** Folds [f] over the events of a channel, one line at a time (blank
+    and comment lines are skipped; [line] is 1-based).  Constant memory
+    beyond the accumulator.  Never returns [Ill_formed] or [Io]. *)
+
+val fold_events :
+  string ->
+  init:'a ->
+  f:('a -> line:int -> Trace.event -> 'a) ->
+  ('a, read_error) result
+(** {!fold_channel} on the named file ([Io] on open/read failure). *)
+
+val read : In_channel.t -> (Trace.t, read_error) result
+(** Reads a whole trace from a channel via the streaming reader. *)
 
 val load : string -> (Trace.t, string) result
-(** Reads a trace from the named file. *)
+(** Reads a trace from the named file (streaming; the file is never
+    held in memory as one string). *)
 
 val save : string -> Trace.t -> unit
 (** Writes a trace to the named file. *)

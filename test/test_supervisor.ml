@@ -1,0 +1,355 @@
+(* The fault-tolerant analysis supervisor.
+
+   The contract under test: one misbehaving application costs one
+   failure row, never the sweep; outcomes are identical across [jobs]
+   values; the fault plan of [with_faults] is a pure function of
+   (seed, app); budgets degrade gracefully (worklist fallback, timeout
+   rows); and the Obs counters account for every degradation.
+
+   The injected-fault expectations below are pinned against the
+   deterministic plan (Supervisor.fault_decision, FNV-1a): for the two
+   cheapest corpus applications,
+     seed 1: Aard Dictionary = transient parse fault, Music Player healthy
+     seed 3: Aard = persistent crash, Music Player = transient crash
+     seed 6: Aard = transient timeout, Music Player = transient reject
+   (a transient reject still fails: rejections are never retried). *)
+
+module Supervisor = Droidracer_report.Supervisor
+module Experiments = Droidracer_report.Experiments
+module Detector = Droidracer_core.Detector
+module Trace = Droidracer_trace.Trace
+module Catalog = Droidracer_corpus.Catalog
+module Synthetic = Droidracer_corpus.Synthetic
+module Obs = Droidracer_obs.Obs
+open Helpers
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let check_string = check Alcotest.string
+
+(* Aard Dictionary (~1.4k events) and Music Player (~5.5k): big enough
+   to exercise the full pipeline, cheap enough to run repeatedly. *)
+let specs2 =
+  match Catalog.all with
+  | a :: b :: _ -> [ a; b ]
+  | _ -> assert false
+
+let spec_names = List.map (fun s -> s.Synthetic.s_name) specs2
+
+(* The structural shape of an outcome: everything except wall-clock
+   elapsed, which legitimately differs between runs. *)
+let shape = function
+  | Supervisor.Completed run ->
+    Printf.sprintf "completed %s races=%d"
+      run.Experiments.ar_built.Synthetic.b_spec.Synthetic.s_name
+      (List.length run.Experiments.ar_report.Detector.all_races)
+  | Supervisor.Failed f ->
+    Printf.sprintf "failed %s %s retries=%d reason=%s" f.Supervisor.f_app
+      (Supervisor.reason_label f.Supervisor.f_reason)
+      f.Supervisor.f_retries
+      (Supervisor.reason_detail f.Supervisor.f_reason)
+
+let run_seeded ?(jobs = 1) seed =
+  Supervisor.with_faults ~seed (fun () ->
+    Supervisor.run_catalog ~jobs ~specs:specs2 ())
+
+(* {1 The fault plan} *)
+
+let test_fault_decision_pure () =
+  List.iter
+    (fun seed ->
+       List.iter
+         (fun app ->
+            let d1 = Supervisor.fault_decision ~seed ~app in
+            let d2 = Supervisor.fault_decision ~seed ~app in
+            check_bool "same decision twice" true (d1 = d2))
+         spec_names)
+    [ 1; 2; 3; 4; 5; 6 ];
+  (* Every fault class is reachable: over a window of seeds, each class
+     hits at least one catalog application. *)
+  let seen = Hashtbl.create 4 in
+  for seed = 1 to 40 do
+    List.iter
+      (fun (s : Synthetic.spec) ->
+         match
+           (Supervisor.fault_decision ~seed ~app:s.Synthetic.s_name)
+             .Supervisor.d_fault
+         with
+         | Some f -> Hashtbl.replace seen (Supervisor.fault_name f) ()
+         | None -> ())
+      Catalog.all
+  done;
+  List.iter
+    (fun f ->
+       check_bool (Printf.sprintf "class %s reachable" f) true
+         (Hashtbl.mem seen f))
+    [ "parse"; "reject"; "crash"; "timeout" ]
+
+let test_pinned_plan () =
+  let aard = List.nth spec_names 0 and music = List.nth spec_names 1 in
+  let decision seed app = Supervisor.fault_decision ~seed ~app in
+  check_bool "seed 1: Aard = transient parse" true
+    (decision 1 aard
+     = { Supervisor.d_fault = Some Supervisor.Parse_fault; d_transient = true });
+  check_bool "seed 1: Music healthy" true
+    ((decision 1 music).Supervisor.d_fault = None);
+  check_bool "seed 3: Aard = persistent crash" true
+    (decision 3 aard
+     = { Supervisor.d_fault = Some Supervisor.Crash_fault; d_transient = false });
+  check_bool "seed 3: Music = transient crash" true
+    (decision 3 music
+     = { Supervisor.d_fault = Some Supervisor.Crash_fault; d_transient = true });
+  check_bool "seed 6: Aard = transient timeout" true
+    (decision 6 aard
+     = { Supervisor.d_fault = Some Supervisor.Timeout_fault; d_transient = true });
+  check_bool "seed 6: Music = transient reject" true
+    (decision 6 music
+     = { Supervisor.d_fault = Some Supervisor.Reject_fault; d_transient = true })
+
+(* {1 Seeded fault classes}
+
+   Under every fault class the sweep completes, healthy applications
+   still produce reports, and the failed row carries the injected
+   reason. *)
+
+let expect_completed name = function
+  | Supervisor.Completed run ->
+    check_string "completed app" name
+      run.Experiments.ar_built.Synthetic.b_spec.Synthetic.s_name;
+    check_bool (name ^ " produced a report") true
+      (Trace.length run.Experiments.ar_report.Detector.trace > 0)
+  | Supervisor.Failed f ->
+    Alcotest.failf "%s should have completed, failed: %s" name
+      (Supervisor.reason_detail f.Supervisor.f_reason)
+
+let expect_failed name ~label ~retries ~contains = function
+  | Supervisor.Completed _ ->
+    Alcotest.failf "%s should have failed (%s)" name label
+  | Supervisor.Failed f ->
+    check_string "failed app" name f.Supervisor.f_app;
+    check_string (name ^ " outcome") label
+      (Supervisor.reason_label f.Supervisor.f_reason);
+    check_int (name ^ " retries") retries f.Supervisor.f_retries;
+    check_bool
+      (Printf.sprintf "%s reason mentions %S" name contains)
+      true
+      (Astring_contains.contains
+         (Supervisor.reason_detail f.Supervisor.f_reason)
+         contains);
+    check_bool (name ^ " elapsed is sane") true (f.Supervisor.f_elapsed >= 0.0)
+
+let test_parse_fault () =
+  match run_seeded 1 with
+  | [ aard; music ] ->
+    (* A rejection is a verdict about the input: never retried, even
+       though the plan marks this fault transient. *)
+    expect_failed (List.nth spec_names 0) ~label:"rejected" ~retries:0
+      ~contains:"injected parse fault" aard;
+    expect_completed (List.nth spec_names 1) music
+  | outcomes -> Alcotest.failf "expected 2 outcomes, got %d" (List.length outcomes)
+
+let test_crash_fault_and_retry () =
+  match run_seeded 3 with
+  | [ aard; music ] ->
+    (* Persistent crash: both attempts fail, the row records the retry. *)
+    expect_failed (List.nth spec_names 0) ~label:"crashed" ~retries:1
+      ~contains:"injected task exception" aard;
+    (* Transient crash: the retry succeeds. *)
+    expect_completed (List.nth spec_names 1) music
+  | outcomes -> Alcotest.failf "expected 2 outcomes, got %d" (List.length outcomes)
+
+let test_timeout_and_reject_faults () =
+  match run_seeded 6 with
+  | [ aard; music ] ->
+    (* Transient injected timeout: retry-once recovers. *)
+    expect_completed (List.nth spec_names 0) aard;
+    expect_failed (List.nth spec_names 1) ~label:"rejected" ~retries:0
+      ~contains:"injected validator reject" music
+  | outcomes -> Alcotest.failf "expected 2 outcomes, got %d" (List.length outcomes)
+
+let test_no_faults_outside_with_faults () =
+  (* The plan is uninstalled when with_faults returns: the same seed's
+     victims complete normally afterwards. *)
+  let outcomes = Supervisor.run_catalog ~specs:[ List.hd specs2 ] () in
+  match outcomes with
+  | [ outcome ] -> expect_completed (List.nth spec_names 0) outcome
+  | _ -> Alcotest.fail "expected one outcome"
+
+(* {1 Determinism across jobs} *)
+
+let test_jobs_determinism () =
+  List.iter
+    (fun seed ->
+       let s1 = List.map shape (run_seeded ~jobs:1 seed) in
+       let s4 = List.map shape (run_seeded ~jobs:4 seed) in
+       check (Alcotest.list Alcotest.string)
+         (Printf.sprintf "seed %d: jobs=1 and jobs=4 agree" seed)
+         s1 s4)
+    [ 1; 3; 6 ]
+
+(* {1 Budgets} *)
+
+let counter name =
+  Option.value (List.assoc_opt name (Obs.snapshot ()).Obs.counters) ~default:0
+
+let with_obs f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+    Obs.disable ();
+    Obs.reset ())
+
+let test_wallclock_timeout () =
+  with_obs @@ fun () ->
+  let budget =
+    { Supervisor.timeout_seconds = Some 0.0; max_events = None }
+  in
+  (match Supervisor.run_app ~budget (List.hd specs2) with
+   | Supervisor.Failed f ->
+     check_string "timed out" "timeout"
+       (Supervisor.reason_label f.Supervisor.f_reason);
+     check_int "retried once" 1 f.Supervisor.f_retries;
+     check_bool "reason names the budget" true
+       (Astring_contains.contains
+          (Supervisor.reason_detail f.Supervisor.f_reason)
+          "wall-clock budget")
+   | Supervisor.Completed _ ->
+     Alcotest.fail "a zero-second budget cannot complete");
+  check_int "supervisor.timeouts counts both attempts" 2
+    (counter "supervisor.timeouts");
+  check_int "supervisor.retries" 1 (counter "supervisor.retries")
+
+let test_event_budget_fallback () =
+  with_obs @@ fun () ->
+  let budget = { Supervisor.timeout_seconds = None; max_events = Some 100 } in
+  let spec = List.hd specs2 in
+  (match Supervisor.run_app ~budget spec with
+   | Supervisor.Failed f ->
+     Alcotest.failf "over-budget run should degrade, not fail: %s"
+       (Supervisor.reason_detail f.Supervisor.f_reason)
+   | Supervisor.Completed run ->
+     (* The worklist engine computes the identical relation, so the
+        degraded report finds exactly the races of the unsupervised
+        dense run. *)
+     let reference = Experiments.run_spec spec in
+     check_int "same races under fallback"
+       (List.length reference.Experiments.ar_report.Detector.all_races)
+       (List.length run.Experiments.ar_report.Detector.all_races));
+  check_int "supervisor.fallbacks" 1 (counter "supervisor.fallbacks")
+
+let test_ingest_counter () =
+  with_obs @@ fun () ->
+  (match run_seeded 6 with
+   | [ _; _ ] -> ()
+   | _ -> Alcotest.fail "expected 2 outcomes");
+  (* Music Player's persistent reject is never retried: one rejection. *)
+  check_int "ingest.rejected" 1 (counter "ingest.rejected");
+  (* Aard's transient timeout: one timeout, one retry. *)
+  check_int "supervisor.timeouts" 1 (counter "supervisor.timeouts");
+  check_int "supervisor.retries" 1 (counter "supervisor.retries")
+
+(* {1 Supervised single-trace analysis} *)
+
+let test_analyze_valid () =
+  match Supervisor.analyze ~name:"figure4" figure4 with
+  | Ok report ->
+    check_bool "report covers the trace" true
+      (Trace.length report.Detector.trace > 0)
+  | Error f ->
+    Alcotest.failf "figure4 rejected: %s"
+      (Supervisor.reason_detail f.Supervisor.f_reason)
+
+let test_analyze_rejects_inadmissible () =
+  (* Structurally fine (Trace.of_events accepts it), admissibility-bad:
+     a release with no matching acquire. *)
+  let bad = trace [ threadinit 1; release 1 "dbLock" ] in
+  match Supervisor.analyze ~name:"unbalanced" bad with
+  | Ok _ -> Alcotest.fail "inadmissible trace accepted"
+  | Error f ->
+    check_string "rejected" "rejected"
+      (Supervisor.reason_label f.Supervisor.f_reason);
+    check_bool "diagnosis names the rule" true
+      (Astring_contains.contains
+         (Supervisor.reason_detail f.Supervisor.f_reason)
+         "unbalanced-release")
+
+(* {1 Reports} *)
+
+let sample_failures =
+  [ { Supervisor.f_app = "App \"quoted\""
+    ; f_reason = Supervisor.Rejected "line 3: [fifo-violation] out of order"
+    ; f_elapsed = 0.25
+    ; f_retries = 0
+    }
+  ; { Supervisor.f_app = "Other"
+    ; f_reason = Supervisor.Timed_out 1.5
+    ; f_elapsed = 3.0
+    ; f_retries = 1
+    }
+  ]
+
+let test_failures_json () =
+  let json = Supervisor.failures_json_string sample_failures in
+  match Json_parse.parse json with
+  | Error msg -> Alcotest.failf "invalid JSON: %s\n%s" msg json
+  | Ok v ->
+    (match Json_parse.member "failures" v with
+     | Some (Json_parse.Array [ first; second ]) ->
+       check_bool "first app" true
+         (Json_parse.member "app" first
+          = Some (Json_parse.String "App \"quoted\""));
+       check_bool "first outcome" true
+         (Json_parse.member "outcome" first
+          = Some (Json_parse.String "rejected"));
+       check_bool "second outcome" true
+         (Json_parse.member "outcome" second
+          = Some (Json_parse.String "timeout"));
+       check_bool "second retries" true
+         (Json_parse.member "retries" second
+          = Some (Json_parse.Number 1.0))
+     | _ -> Alcotest.fail "failures array missing")
+
+let test_failure_table () =
+  let rendered =
+    Droidracer_report.Table.render (Supervisor.failure_table sample_failures)
+  in
+  check_bool "row for the rejected app" true
+    (Astring_contains.contains rendered "fifo-violation");
+  check_bool "row for the timeout" true
+    (Astring_contains.contains rendered "wall-clock budget")
+
+let () =
+  Alcotest.run "supervisor"
+    [ ( "fault plan"
+      , [ Alcotest.test_case "pure and class-complete" `Quick
+            test_fault_decision_pure
+        ; Alcotest.test_case "pinned decisions" `Quick test_pinned_plan
+        ] )
+    ; ( "fault classes"
+      , [ Alcotest.test_case "parse fault" `Slow test_parse_fault
+        ; Alcotest.test_case "crash fault + retry" `Slow
+            test_crash_fault_and_retry
+        ; Alcotest.test_case "timeout + reject faults" `Slow
+            test_timeout_and_reject_faults
+        ; Alcotest.test_case "plan uninstalled after with_faults" `Slow
+            test_no_faults_outside_with_faults
+        ] )
+    ; ( "determinism"
+      , [ Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_determinism ] )
+    ; ( "budgets"
+      , [ Alcotest.test_case "wall-clock timeout" `Slow test_wallclock_timeout
+        ; Alcotest.test_case "event budget falls back to worklist" `Slow
+            test_event_budget_fallback
+        ; Alcotest.test_case "obs counters" `Slow test_ingest_counter
+        ] )
+    ; ( "analyze"
+      , [ Alcotest.test_case "valid trace" `Quick test_analyze_valid
+        ; Alcotest.test_case "inadmissible trace rejected" `Quick
+            test_analyze_rejects_inadmissible
+        ] )
+    ; ( "reports"
+      , [ Alcotest.test_case "failures JSON" `Quick test_failures_json
+        ; Alcotest.test_case "failure table" `Quick test_failure_table
+        ] )
+    ]

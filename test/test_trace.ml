@@ -246,6 +246,62 @@ let test_io_errors () =
          (Result.is_error (Trace_io.parse line)))
     bad
 
+(* Every parse-error branch must report the 1-based column of the
+   offending token and quote it: one row per branch of
+   Trace_io.parse_op and friends. *)
+let test_io_error_context () =
+  let cases =
+    [ ("x1 read C.f@0", 1, "x1", "expected a thread id")
+    ; ("t1 frobnicate", 4, "frobnicate", "unknown operation")
+    ; ("t1", 1, "t1", "incomplete line")
+    ; ("t1 threadinit extra", 4, "threadinit", "no arguments")
+    ; ("t1 fork xyz", 9, "xyz", "expected a thread id")
+    ; ("t1 fork", 4, "fork", "one thread id")
+    ; ("t1 begin not-a-task", 10, "not-a-task", "expected a task id")
+    ; ("t1 begin", 4, "begin", "one task id")
+    ; ("t1 acquire", 4, "acquire", "one lock name")
+    ; ("t1 read nope", 9, "nope", "expected a memory location")
+    ; ("t1 read", 4, "read", "one memory location")
+    ; ("t1 post a#0", 4, "post", "a task id and a target thread")
+    ; ("t1 post nope t2", 9, "nope", "expected a task id")
+    ; ("t1 post a#0 x2", 13, "x2", "expected a thread id")
+    ; ("t1 post a#0 t2 delay=-1", 16, "delay=-1", "invalid delay")
+    ; ("t1 post a#0 t2 delay=zz", 16, "delay=zz", "invalid delay")
+    ; ("t1 post a#0 t2 whenever", 16, "whenever", "unexpected post argument")
+    ]
+  in
+  List.iter
+    (fun (line, column, token, needle) ->
+       match Trace_io.parse_event_located ~line:7 line with
+       | Ok _ -> Alcotest.failf "%S: accepted" line
+       | Error e ->
+         check_int (Printf.sprintf "%S: line" line) 7 e.Trace_io.pe_line;
+         check_int (Printf.sprintf "%S: column" line) column
+           e.Trace_io.pe_column;
+         check (Alcotest.option Alcotest.string)
+           (Printf.sprintf "%S: token" line)
+           (Some token) e.Trace_io.pe_token;
+         check_bool
+           (Printf.sprintf "%S: message mentions %S" line needle)
+           true
+           (Astring_contains.contains (Trace_io.parse_error_message e) needle);
+         (* The string-level API keeps the context too. *)
+         (match Trace_io.parse_event line with
+          | Ok _ -> Alcotest.failf "%S: parse_event accepted" line
+          | Error msg ->
+            check_bool
+              (Printf.sprintf "%S: parse_event names the column" line)
+              true
+              (Astring_contains.contains msg
+                 (Printf.sprintf "column %d" column))))
+    cases;
+  (* Whole-text parsing prefixes the 1-based line number. *)
+  match Trace_io.parse "t1 threadinit\nt1 oops\n" with
+  | Ok _ -> Alcotest.fail "bad text accepted"
+  | Error msg ->
+    check_bool "parse names the line" true
+      (Astring_contains.contains msg "line 2")
+
 (* {1 Properties} *)
 
 let prop_io_round_trip =
@@ -307,6 +363,8 @@ let () =
             test_io_comments_and_blanks
         ; Alcotest.test_case "post flavours" `Quick test_io_post_flavours
         ; Alcotest.test_case "parse errors" `Quick test_io_errors
+        ; Alcotest.test_case "parse errors carry column and token" `Quick
+            test_io_error_context
         ] )
     ; ( "properties"
       , [ QCheck_alcotest.to_alcotest prop_io_round_trip

@@ -32,6 +32,7 @@ module Music_player = Droidracer_corpus.Music_player
 module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
 module Experiments = Droidracer_report.Experiments
+module Supervisor = Droidracer_report.Supervisor
 module Table = Droidracer_report.Table
 module Obs = Droidracer_obs.Obs
 
@@ -291,6 +292,56 @@ let write_hb_engines_json path (eruns : engine_run list) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* {1 Supervision overhead}
+
+   The same two applications swept under process isolation (forked
+   workers, Marshal pipes, hard SIGKILL deadlines) and under the
+   cooperative supervisor (in-process domains): the difference is the
+   price of crash containment.  The two smallest open-source
+   applications keep the stage cheap; row counts are deterministic,
+   only the wall times vary.
+
+   This stage must run first, and the isolated sweep must run before
+   the cooperative one: the OCaml 5 runtime refuses [Unix.fork] once
+   any domain has ever been spawned, so process isolation only works
+   before the process's first domain-parallel computation. *)
+
+let supervision_overhead ~jobs =
+  let specs =
+    match Catalog.open_source with
+    | a :: b :: _ -> [ a; b ]
+    | specs -> specs
+  in
+  let budget =
+    { Supervisor.timeout_seconds = Some 120.0; max_events = None }
+  in
+  let sweep mode = Supervisor.run_catalog ~jobs ~specs ~budget ~mode () in
+  let iso, iso_dt =
+    timed "supervised_isolated" (fun () ->
+      sweep (Supervisor.Isolated { max_mem_mib = None }))
+  in
+  let coop, coop_dt =
+    timed "supervised_cooperative" (fun () -> sweep Supervisor.Cooperative)
+  in
+  let table =
+    Table.create ~title:"Supervision overhead (two smallest open-source apps)"
+      ~columns:[ "mode"; "completed"; "failed"; "wall"; "overhead" ]
+  in
+  let row name outcomes dt rel =
+    Table.add_row table
+      [ name
+      ; string_of_int (List.length (Supervisor.completed outcomes))
+      ; string_of_int (List.length (Supervisor.failures outcomes))
+      ; Printf.sprintf "%.3fs" dt
+      ; rel
+      ]
+  in
+  row "cooperative (domains)" coop coop_dt "1.0x";
+  row "isolated (forked workers)" iso iso_dt
+    (if coop_dt > 0. then Printf.sprintf "%.1fx" (iso_dt /. coop_dt)
+     else "n/a");
+  Table.print table
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let microbenchmarks (runs : Experiments.app_run list) =
@@ -375,6 +426,10 @@ let () =
     (List.length specs)
     (if quick then " (open source only: --quick)" else "")
     opts.jobs;
+  section "Supervision overhead: isolated vs cooperative workers";
+  (* First stage by necessity: forked workers are only available before
+     the first domain is spawned (see [supervision_overhead]). *)
+  supervision_overhead ~jobs:opts.jobs;
   section "Motivating example (Figures 1-4)";
   Table.print (Experiments.music_player_summary ());
   section "Figure 8: activity lifecycle";

@@ -29,6 +29,8 @@ module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
 module Experiments = Droidracer_report.Experiments
 module Supervisor = Droidracer_report.Supervisor
+module Proc_pool = Droidracer_report.Proc_pool
+module Journal = Droidracer_report.Journal
 module Table = Droidracer_report.Table
 module Obs = Droidracer_obs.Obs
 open Cmdliner
@@ -676,9 +678,82 @@ let corpus_cmd =
          & info [ "open-source" ]
              ~doc:"Restrict to the open-source applications (faster).")
   in
+  let fault_classes =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("basic", Supervisor.basic_faults)
+             ; ("all", Supervisor.all_faults)
+             ])
+          Supervisor.basic_faults
+      & info [ "fault-classes" ] ~docv:"SET"
+          ~doc:
+            "Fault classes drawn by $(b,--inject-faults): $(b,basic) \
+             (parse, reject, crash, timeout — bit-identical plans to \
+             earlier releases) or $(b,all) (adds oom and hang, which \
+             misbehave non-cooperatively and are meant for \
+             $(b,--isolate)).")
+  in
+  let isolate =
+    Arg.(value & flag
+         & info [ "isolate" ]
+             ~doc:
+               "Run each application in a forked worker process: crashes, \
+                allocation storms and non-cooperative hangs cost one \
+                failure row (the worker is SIGKILLed after \
+                $(b,--timeout)), never the sweep.")
+  in
+  let max_mem =
+    Arg.(value & opt (some int) None
+         & info [ "max-mem" ] ~docv:"MIB"
+             ~doc:
+               "With $(b,--isolate): cap each worker's address space at \
+                $(docv) MiB of headroom over the forked image \
+                (setrlimit); a worker past the cap dies and is reported \
+                as a memory-cap failure row.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:
+               "Append every finished application's outcome to $(docv) \
+                (fsync'd JSONL) so an interrupted sweep can be resumed \
+                with $(b,--resume).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "With $(b,--journal): replay outcomes already journalled \
+                by an interrupted run instead of recomputing them; the \
+                resumed sweep reproduces the uninterrupted tables bit \
+                for bit.")
+  in
+  let max_retries =
+    Arg.(value & opt int 1
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "Retry crashed or timed-out applications up to $(docv) \
+                times (rejections are never retried).")
+  in
+  let backoff =
+    Arg.(value & opt float 0.0
+         & info [ "backoff" ] ~docv:"SECONDS"
+             ~doc:
+               "Base of the deterministic exponential backoff between \
+                retries: retry $(i,k) waits $(docv) * 2^($(i,k)-1) \
+                seconds.  Jitter-free, so failure rows are \
+                reproducible.")
+  in
   let run verify only open_source jobs closure budget inject_faults
-      failures_json telemetry =
+      fault_classes failures_json isolate max_mem journal_path resume
+      max_retries backoff telemetry =
     with_telemetry telemetry @@ fun () ->
+    if max_mem <> None && not isolate then
+      or_die (Error "--max-mem requires --isolate");
+    if resume && journal_path = None then
+      or_die (Error "--resume requires --journal");
     let specs =
       match only with
       | None -> if open_source then Catalog.open_source else Catalog.all
@@ -687,14 +762,45 @@ let corpus_cmd =
          | Some s -> [ s ]
          | None -> or_die (Error (Printf.sprintf "unknown corpus app %S" name)))
     in
+    let journal =
+      Option.map
+        (fun path ->
+           let j = or_die (Journal.create ~resume path) in
+           let torn = Journal.torn_lines j in
+           if torn > 0 then
+             Printf.eprintf "droidracer: journal: skipped %d torn line(s)\n%!"
+               torn;
+           let stale = Journal.stale_records j in
+           if stale > 0 then
+             Printf.eprintf
+               "droidracer: journal: discarded %d record(s) written by a \
+                different binary\n%!"
+               stale;
+           let prior = List.length (Journal.prior j) in
+           if prior > 0 then
+             Printf.eprintf
+               "droidracer: journal: resuming %d already-completed app(s)\n%!"
+               prior;
+           j)
+        journal_path
+    in
+    let mode =
+      if isolate then Supervisor.Isolated { max_mem_mib = max_mem }
+      else Supervisor.Cooperative
+    in
+    let retry = { Proc_pool.max_retries; backoff_base = backoff } in
     let sweep () =
       Supervisor.run_catalog ~jobs ~specs ~config:(detector_config ~closure)
-        ~budget ()
+        ~budget ~retry ~mode ?journal ()
     in
     let outcomes =
-      match inject_faults with
-      | Some seed -> Supervisor.with_faults ~seed sweep
-      | None -> sweep ()
+      Fun.protect
+        ~finally:(fun () -> Option.iter Journal.close journal)
+        (fun () ->
+           match inject_faults with
+           | Some seed ->
+             Supervisor.with_faults ~classes:fault_classes ~seed sweep
+           | None -> sweep ())
     in
     let runs = Supervisor.completed outcomes in
     let failed = Supervisor.failures outcomes in
@@ -725,7 +831,8 @@ let corpus_cmd =
           crashes).")
     Term.(
       const run $ verify $ only $ open_source $ jobs_arg $ hb_engine_arg
-      $ budget_term $ inject_faults $ failures_json $ telemetry_term)
+      $ budget_term $ inject_faults $ fault_classes $ failures_json $ isolate
+      $ max_mem $ journal $ resume $ max_retries $ backoff $ telemetry_term)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in

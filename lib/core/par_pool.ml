@@ -57,6 +57,19 @@ let shutdown () =
   Mutex.unlock pool.mutex;
   List.iter Domain.join workers
 
+let quiesce () =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.wake;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers;
+  Mutex.lock pool.mutex;
+  pool.stopping <- false;
+  Mutex.unlock pool.mutex;
+  if workers <> [] then Obs.set_gauge "pool.workers" 0.0
+
 let at_exit_registered = ref false
 
 (* Grow the pool to [wanted] workers.  Called with [pool.mutex] held. *)

@@ -28,6 +28,18 @@ val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     - [jobs <= 1], the empty list and singleton lists take the
       sequential path and never touch the pool. *)
 
+val quiesce : unit -> unit
+(** Join every worker domain and return the pool to its initial (empty,
+    restartable) state.  The next {!parallel_map} re-spawns workers as
+    usual.  Call from the main domain with no parallel call in flight.
+
+    Quiescing is {e not} enough to make [Unix.fork] legal again: the
+    OCaml 5 runtime refuses [fork] once any domain has ever been
+    spawned, even after every domain is joined.  Process isolation must
+    therefore fork its workers before the first domain-parallel
+    computation of the process; the quiesce before forking is a
+    defensive cleanup, not a license. *)
+
 val ranges : chunk:int -> int -> (int * int) list
 (** [ranges ~chunk n] splits [0..n-1] into half-open [(lo, hi)]
     intervals of [chunk] indices (the last may be shorter).  The

@@ -1,0 +1,314 @@
+open! Import
+
+let schema = "droidracer-journal/1"
+
+(* {1 Base64}
+
+   Inline RFC 4648 alphabet with padding; the toolchain ships no base64
+   and the journal must not grow a dependency for one. *)
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let b64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit i = Buffer.add_char buf b64_alphabet.[i] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (w lsr 18);
+    emit ((w lsr 12) land 63);
+    emit ((w lsr 6) land 63);
+    emit (w land 63);
+    i := !i + 3
+  done;
+  (match n - !i with
+   | 1 ->
+     let w = byte !i lsl 16 in
+     emit (w lsr 18);
+     emit ((w lsr 12) land 63);
+     Buffer.add_string buf "=="
+   | 2 ->
+     let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+     emit (w lsr 18);
+     emit ((w lsr 12) land 63);
+     emit ((w lsr 6) land 63);
+     Buffer.add_char buf '='
+   | _ -> ());
+  Buffer.contents buf
+
+let b64_value c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let b64_decode s =
+  let s =
+    if String.length s >= 2 && String.sub s (String.length s - 2) 2 = "==" then
+      String.sub s 0 (String.length s - 2)
+    else if String.length s >= 1 && s.[String.length s - 1] = '=' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  let n = String.length s in
+  let buf = Buffer.create (n * 3 / 4) in
+  let acc = ref 0 and bits = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+       match b64_value c with
+       | None -> ok := false
+       | Some v ->
+         acc := (!acc lsl 6) lor v;
+         bits := !bits + 6;
+         if !bits >= 8 then begin
+           bits := !bits - 8;
+           Buffer.add_char buf (Char.chr ((!acc lsr !bits) land 0xff))
+         end)
+    s;
+  if !ok then Some (Buffer.contents buf) else None
+
+(* {1 JSON strings} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* A scanner for exactly the object shape this module writes: string
+   keys, string values, no nesting.  Returns the fields in order, or
+   [None] for anything malformed — a torn line must never raise. *)
+let parse_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then begin
+      advance ();
+      true
+    end
+    else false
+  in
+  let parse_string () =
+    skip_ws ();
+    if peek () <> Some '"' then None
+    else begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then None
+        else
+          match line.[!pos] with
+          | '"' ->
+            advance ();
+            Some (Buffer.contents buf)
+          | '\\' ->
+            advance ();
+            if !pos >= n then None
+            else begin
+              (match line.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                 if !pos + 4 < n then begin
+                   let hex = String.sub line (!pos + 1) 4 in
+                   (match int_of_string_opt ("0x" ^ hex) with
+                    | Some code when Uchar.is_valid code ->
+                      Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+                    | Some _ | None -> Buffer.add_char buf '?');
+                   pos := !pos + 4
+                 end
+               | _ -> Buffer.add_char buf line.[!pos]);
+              advance ();
+              go ()
+            end
+          | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ()
+    end
+  in
+  if not (expect '{') then None
+  else begin
+    let fields = ref [] in
+    let rec members () =
+      match parse_string () with
+      | None -> None
+      | Some key ->
+        if not (expect ':') then None
+        else (
+          match parse_string () with
+          | None -> None
+          | Some v ->
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            (match peek () with
+             | Some ',' ->
+               advance ();
+               members ()
+             | Some '}' ->
+               advance ();
+               skip_ws ();
+               if !pos = n then Some (List.rev !fields) else None
+             | _ -> None))
+    in
+    members ()
+  end
+
+(* {1 Records} *)
+
+let record_digest ~app ~encoded = Digest.to_hex (Digest.string (app ^ "\x00" ^ encoded))
+
+let record_line ~app ~payload =
+  let encoded = b64_encode payload in
+  Printf.sprintf {|{"digest":"%s","app":"%s","payload":"%s"}|}
+    (record_digest ~app ~encoded)
+    (json_escape app) encoded
+
+let parse_record line =
+  match parse_fields line with
+  | Some [ ("digest", digest); ("app", app); ("payload", encoded) ]
+    when String.equal digest (record_digest ~app ~encoded) ->
+    Option.map (fun payload -> (app, payload)) (b64_decode encoded)
+  | Some _ | None -> None
+
+let binary_digest =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unknown")
+
+let header_line () =
+  Printf.sprintf {|{"schema":"%s","binary":"%s"}|} schema (Lazy.force binary_digest)
+
+(* {1 The journal} *)
+
+type t =
+  { mutable fd : Unix.file_descr option
+  ; mutex : Mutex.t
+  ; prior : (string * string) list
+  ; torn : int
+  ; stale : int
+  }
+
+let prior t = t.prior
+
+let torn_lines t = t.torn
+
+let stale_records t = t.stale
+
+let read_lines path =
+  let ic = In_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () ->
+       In_channel.input_all ic |> String.split_on_char '\n'
+       |> List.filter (fun l -> l <> ""))
+
+let replay path =
+  match read_lines path with
+  | exception Sys_error _ -> Ok ([], 0, 0)
+  | [] -> Ok ([], 0, 0)
+  | header :: records ->
+    (match parse_fields header with
+     | Some (("schema", s) :: rest) when String.equal s schema ->
+       let same_binary =
+         match List.assoc_opt "binary" rest with
+         | Some d -> String.equal d (Lazy.force binary_digest)
+         | None -> false
+       in
+       let good, torn =
+         List.fold_left
+           (fun (good, torn) line ->
+              match parse_record line with
+              | Some entry -> (entry :: good, torn)
+              | None -> (good, torn + 1))
+           ([], 0) records
+       in
+       let good = List.rev good in
+       if same_binary then Ok (good, torn, 0)
+       else Ok ([], torn, List.length good)
+     | Some (("schema", s) :: _) ->
+       Error
+         (Printf.sprintf "journal %s has schema %S, expected %S" path s schema)
+     | Some _ | None ->
+       Error (Printf.sprintf "journal %s has no valid header line" path))
+
+let fsync_write fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let rec go pos len =
+    if len > 0 then begin
+      let n = Unix.write fd bytes pos len in
+      go (pos + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length bytes);
+  Unix.fsync fd
+
+let create ?(resume = false) path =
+  let replayed = if resume then replay path else Ok ([], 0, 0) in
+  match replayed with
+  | Error _ as e -> e
+  | Ok (entries, torn, stale) ->
+    if torn > 0 then Obs.add ~n:torn "journal.torn";
+    if stale > 0 then Obs.add ~n:stale "journal.stale";
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    (* Rewrite header + intact records so the file never carries a torn
+       line forward; every subsequent append lands after them. *)
+    fsync_write fd (header_line ());
+    List.iter
+      (fun (app, payload) -> fsync_write fd (record_line ~app ~payload))
+      entries;
+    Ok { fd = Some fd; mutex = Mutex.create (); prior = entries; torn; stale }
+
+let append t ~app ~payload =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+       match t.fd with
+       | None -> invalid_arg "Journal.append: journal is closed"
+       | Some fd -> fsync_write fd (record_line ~app ~payload))
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+       match t.fd with
+       | None -> ()
+       | Some fd ->
+         t.fd <- None;
+         Unix.close fd)

@@ -1,0 +1,506 @@
+open! Import
+
+external set_mem_limit_mib : int -> unit = "droidracer_set_mem_limit_mib"
+
+(* {1 Retry policy} *)
+
+type retry_policy =
+  { max_retries : int
+  ; backoff_base : float
+  }
+
+let no_retry = { max_retries = 0; backoff_base = 0.0 }
+
+let default_retry = { max_retries = 1; backoff_base = 0.0 }
+
+let backoff_delay policy ~attempt =
+  if attempt <= 0 || policy.backoff_base <= 0.0 then 0.0
+  else policy.backoff_base *. (2.0 ** float_of_int (attempt - 1))
+
+let total_backoff policy ~retries =
+  let rec go k acc =
+    if k > retries then acc else go (k + 1) (acc +. backoff_delay policy ~attempt:k)
+  in
+  go 1 0.0
+
+(* {1 Limits} *)
+
+type limits =
+  { deadline_seconds : float option
+  ; max_mem_mib : int option
+  }
+
+let no_limits = { deadline_seconds = None; max_mem_mib = None }
+
+(* {1 Outcomes} *)
+
+type death =
+  | Exited of int
+  | Signaled of int
+  | Oom_killed of int
+  | Stack_overflowed
+  | Hard_deadline of float
+
+let signal_name s =
+  let known =
+    [ (Sys.sigabrt, "SIGABRT")
+    ; (Sys.sigalrm, "SIGALRM")
+    ; (Sys.sigbus, "SIGBUS")
+    ; (Sys.sigfpe, "SIGFPE")
+    ; (Sys.sighup, "SIGHUP")
+    ; (Sys.sigill, "SIGILL")
+    ; (Sys.sigint, "SIGINT")
+    ; (Sys.sigkill, "SIGKILL")
+    ; (Sys.sigpipe, "SIGPIPE")
+    ; (Sys.sigquit, "SIGQUIT")
+    ; (Sys.sigsegv, "SIGSEGV")
+    ; (Sys.sigterm, "SIGTERM")
+    ; (Sys.sigxcpu, "SIGXCPU")
+    ; (Sys.sigxfsz, "SIGXFSZ")
+    ]
+  in
+  match List.assoc_opt s known with
+  | Some name -> name
+  | None -> Printf.sprintf "signal %d" s
+
+let death_message = function
+  | Exited c -> Printf.sprintf "worker exited with status %d" c
+  | Signaled s -> Printf.sprintf "worker killed by %s" (signal_name s)
+  | Oom_killed mib ->
+    Printf.sprintf "worker exceeded its %d MiB memory cap (rlimit)" mib
+  | Stack_overflowed -> "worker stack overflow"
+  | Hard_deadline t ->
+    Printf.sprintf "hard deadline of %gs exceeded (worker SIGKILLed)" t
+
+type 'b attempt_result =
+  | Value of 'b
+  | Died of death
+
+type 'b row =
+  { r_result : 'b attempt_result
+  ; r_retries : int
+  ; r_backoff : float
+  ; r_elapsed : float
+  ; r_deaths : death list
+  }
+
+(* {1 Wire framing}
+
+   One length-prefixed Marshal frame per message.  The parent sends
+   [(index, attempt)] pairs; a worker replies with [(index, value)]
+   marshalled with [Closures] — parent and child are the same forked
+   image, so closure code pointers round-trip.  A short read means the
+   peer died; the length prefix bounds the allocation. *)
+
+let max_frame_bytes = 1 lsl 30
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = Bytes.length payload in
+  let hdr = Bytes.create 8 in
+  Bytes.set_int64_be hdr 0 (Int64.of_int len);
+  write_all fd hdr 0 8;
+  write_all fd payload 0 len
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos = len then Some buf
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> None
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (_, _, _) -> None
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 8 with
+  | None -> None
+  | Some hdr ->
+    let len = Int64.to_int (Bytes.get_int64_be hdr 0) in
+    if len < 0 || len > max_frame_bytes then None else read_exact fd len
+
+(* {1 The worker side}
+
+   Workers are forked with the task function and item array already in
+   memory and loop on the request pipe until EOF.  [Out_of_memory] and
+   [Stack_overflow] cannot be reported over the pipe reliably (the
+   marshaller itself needs memory), so they become dedicated exit
+   statuses the parent translates back. *)
+
+let oom_exit_status = 41
+let stack_exit_status = 42
+let uncaught_exit_status = 40
+
+let in_worker_flag = ref false
+
+let in_worker () = !in_worker_flag
+
+let child_main ~max_mem ~f ~items rfd wfd =
+  in_worker_flag := true;
+  (match max_mem with
+   | Some mib -> (try set_mem_limit_mib mib with _ -> ())
+   | None -> ());
+  let rec loop () =
+    match read_frame rfd with
+    | None -> Unix._exit 0
+    | Some req ->
+      let (idx, attempt) : int * int = Marshal.from_bytes req 0 in
+      (match f ~attempt items.(idx) with
+       | v ->
+         (try write_frame wfd (Marshal.to_bytes (idx, v) [ Marshal.Closures ])
+          with _ -> Unix._exit 0);
+         loop ()
+       | exception Out_of_memory -> Unix._exit oom_exit_status
+       | exception Stack_overflow -> Unix._exit stack_exit_status
+       | exception exn ->
+         (try
+            Printf.eprintf "proc_pool worker: uncaught exception: %s\n%!"
+              (Printexc.to_string exn)
+          with _ -> ());
+         Unix._exit uncaught_exit_status)
+  in
+  loop ()
+
+(* {1 The parent side} *)
+
+type 'b task =
+  { t_idx : int
+  ; t_item : 'b
+  ; mutable t_attempt : int
+  ; mutable t_ready_at : float  (* earliest (re)dispatch time *)
+  ; mutable t_backoff : float
+  ; mutable t_started : float  (* first dispatch; nan until then *)
+  ; mutable t_deaths : death list  (* newest first *)
+  }
+
+type worker_state =
+  | Idle
+  | Busy of { b_idx : int; b_deadline : float option }
+  | Dead of { d_ready_at : float }
+
+type worker =
+  { mutable w_pid : int
+  ; mutable w_wr : Unix.file_descr  (* parent -> child requests *)
+  ; mutable w_rd : Unix.file_descr  (* child -> parent results *)
+  ; mutable w_state : worker_state
+  ; mutable w_deaths : int  (* consecutive, drives respawn backoff *)
+  }
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A freshly forked child inherits the parent's ends of every sibling
+   pipe; it must close them, or the parent would never see EOF when a
+   sibling dies. *)
+let spawn ~limits ~f ~items ~sibling_fds =
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let res_r, res_w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | exception Failure _ ->
+    (* OCaml 5 refuses [fork] once any domain has ever been spawned,
+       even after every domain is joined; quiescing the pool cannot
+       lift that.  Re-raise with the actionable constraint. *)
+    List.iter close_quietly [ req_r; req_w; res_r; res_w ];
+    failwith
+      "Proc_pool.map: Unix.fork is unavailable because this process \
+       already spawned domains (the OCaml 5 runtime permits fork only \
+       before the first Domain.spawn, even if every domain has since \
+       been joined); run the isolated sweep before any domain-parallel \
+       computation"
+  | 0 ->
+    List.iter close_quietly sibling_fds;
+    close_quietly req_w;
+    close_quietly res_r;
+    (try child_main ~max_mem:limits.max_mem_mib ~f ~items req_r res_w
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    close_quietly req_r;
+    close_quietly res_w;
+    (pid, req_w, res_r)
+
+let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
+    ?(should_retry = fun _ -> false) ?(on_row = fun _ _ -> ()) f items =
+  match items with
+  | [] -> []
+  | _ ->
+    Obs.with_span "proc_pool.map"
+      ~args:[ ("items", string_of_int (List.length items)) ]
+    @@ fun () ->
+    (* Defensive cleanup; it cannot re-enable fork if domains already
+       ran (see [spawn]), but it guarantees no worker domain is mid-task
+       while we fork. *)
+    Par_pool.quiesce ();
+    let items_arr = Array.of_list items in
+    let n = Array.length items_arr in
+    let jobs = max 1 (min jobs n) in
+    let tasks =
+      Array.mapi
+        (fun i item ->
+           { t_idx = i
+           ; t_item = item
+           ; t_attempt = 0
+           ; t_ready_at = 0.0
+           ; t_backoff = 0.0
+           ; t_started = Float.nan
+           ; t_deaths = []
+           })
+        items_arr
+    in
+    let pending = ref (Array.to_list tasks) in
+    let rows = Array.make n None in
+    let finished = ref 0 in
+    let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    let workers = Array.make jobs None in
+    let live_fds ~except =
+      Array.to_list workers
+      |> List.concat_map (function
+        | Some w when w.w_pid <> except ->
+          (match w.w_state with Dead _ -> [] | _ -> [ w.w_wr; w.w_rd ])
+        | Some _ | None -> [])
+    in
+    let respawn slot =
+      let pid, wr, rd =
+        spawn ~limits ~f ~items:items_arr ~sibling_fds:(live_fds ~except:(-1))
+      in
+      match workers.(slot) with
+      | None ->
+        workers.(slot) <-
+          Some { w_pid = pid; w_wr = wr; w_rd = rd; w_state = Idle; w_deaths = 0 }
+      | Some w ->
+        Obs.add "proc.restarts";
+        w.w_pid <- pid;
+        w.w_wr <- wr;
+        w.w_rd <- rd;
+        w.w_state <- Idle
+    in
+    let finish task result =
+      let now = Unix.gettimeofday () in
+      let row =
+        { r_result = result
+        ; r_retries = task.t_attempt
+        ; r_backoff = task.t_backoff
+        ; r_elapsed =
+            (if Float.is_nan task.t_started then 0.0 else now -. task.t_started)
+        ; r_deaths = List.rev task.t_deaths
+        }
+      in
+      rows.(task.t_idx) <- Some row;
+      incr finished;
+      on_row task.t_idx row
+    in
+    let requeue task =
+      task.t_attempt <- task.t_attempt + 1;
+      let delay = backoff_delay retry ~attempt:task.t_attempt in
+      task.t_backoff <- task.t_backoff +. delay;
+      task.t_ready_at <- Unix.gettimeofday () +. delay;
+      Obs.add "proc.retries";
+      pending := task :: !pending
+    in
+    let handle_value task v =
+      if should_retry v && task.t_attempt < retry.max_retries then requeue task
+      else finish task (Value v)
+    in
+    let handle_death task death =
+      task.t_deaths <- death :: task.t_deaths;
+      if task.t_attempt < retry.max_retries then requeue task
+      else finish task (Died death)
+    in
+    (* Reap a dead worker: close its pipes, collect the exit status, and
+       schedule the slot's respawn under the consecutive-death backoff. *)
+    let reap ?forced w =
+      close_quietly w.w_wr;
+      close_quietly w.w_rd;
+      let _, status = Unix.waitpid [] w.w_pid in
+      let death =
+        match forced with
+        | Some death -> death
+        | None ->
+          (match status with
+           | Unix.WEXITED c when c = oom_exit_status ->
+             Obs.add "proc.oom";
+             Oom_killed (Option.value limits.max_mem_mib ~default:0)
+           | Unix.WEXITED c when c = stack_exit_status -> Stack_overflowed
+           | Unix.WEXITED c -> Exited c
+           | Unix.WSIGNALED s | Unix.WSTOPPED s -> Signaled s)
+      in
+      let busy =
+        match w.w_state with
+        | Busy b -> Some tasks.(b.b_idx)
+        | Idle | Dead _ -> None
+      in
+      w.w_deaths <- w.w_deaths + 1;
+      (* Cap the respawn penalty: the backoff that matters for rows is
+         the per-task one; the slot penalty just keeps a poisoned host
+         from hot-looping. *)
+      let penalty = backoff_delay retry ~attempt:(min w.w_deaths 6) in
+      w.w_state <- Dead { d_ready_at = Unix.gettimeofday () +. penalty };
+      Option.iter (fun task -> handle_death task death) busy
+    in
+    let handle_readable w =
+      match read_frame w.w_rd with
+      | Some frame ->
+        let idx, v = (Marshal.from_bytes frame 0 : int * _) in
+        (match w.w_state with
+         | Busy b when b.b_idx = idx ->
+           w.w_deaths <- 0;
+           w.w_state <- Idle;
+           handle_value tasks.(idx) v
+         | Idle | Busy _ | Dead _ ->
+           (* A frame we no longer expect (e.g. computed just as the
+              deadline killed the worker): drop it. *)
+           ())
+      | None -> reap w
+    in
+    let dispatch w task =
+      let now = Unix.gettimeofday () in
+      if Float.is_nan task.t_started then task.t_started <- now;
+      match
+        write_frame w.w_wr
+          (Marshal.to_bytes (task.t_idx, task.t_attempt) [])
+      with
+      | () ->
+        let deadline = Option.map (fun s -> now +. s) limits.deadline_seconds in
+        w.w_state <- Busy { b_idx = task.t_idx; b_deadline = deadline }
+      | exception Unix.Unix_error _ ->
+        (* The worker died before the request reached it: the attempt
+           never started, so the task is not charged — requeue as-is. *)
+        pending := task :: !pending;
+        reap w
+    in
+    (* Pop the ready task with the lowest index (deterministic under a
+       deterministic fault plan; n is corpus-sized, so linear scans are
+       fine). *)
+    let pop_ready now =
+      let best =
+        List.fold_left
+          (fun acc task ->
+             if task.t_ready_at > now then acc
+             else
+               match acc with
+               | Some t when t.t_idx < task.t_idx -> acc
+               | _ -> Some task)
+          None !pending
+      in
+      match best with
+      | None -> None
+      | Some task ->
+        pending := List.filter (fun t -> t != task) !pending;
+        Some task
+    in
+    let cleanup () =
+      Array.iter
+        (function
+          | Some w ->
+            (match w.w_state with
+             | Dead _ -> ()
+             | Idle | Busy _ ->
+               close_quietly w.w_wr;
+               close_quietly w.w_rd;
+               (try Unix.kill w.w_pid Sys.sigkill
+                with Unix.Unix_error _ -> ());
+               (try ignore (Unix.waitpid [] w.w_pid)
+                with Unix.Unix_error _ -> ()))
+          | None -> ())
+        workers;
+      ignore (Sys.signal Sys.sigpipe prev_sigpipe)
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+      for slot = 0 to jobs - 1 do
+        respawn slot
+      done;
+      while !finished < n do
+        let now = Unix.gettimeofday () in
+        (* Respawn slots whose backoff has elapsed, while work remains. *)
+        Array.iteri
+          (fun slot w ->
+             match w with
+             | Some { w_state = Dead { d_ready_at }; _ }
+               when now >= d_ready_at && !pending <> [] ->
+               respawn slot
+             | Some _ | None -> ())
+          workers;
+        (* Hand ready tasks to idle workers. *)
+        Array.iter
+          (function
+            | Some ({ w_state = Idle; _ } as w) ->
+              (match pop_ready now with
+               | Some task -> dispatch w task
+               | None -> ())
+            | Some _ | None -> ())
+          workers;
+        if !finished < n then begin
+          (* Earliest future event: a hard deadline, a backoff expiry,
+             or a slot respawn. *)
+          let wake = ref None in
+          let consider t =
+            match !wake with
+            | Some t' when t' <= t -> ()
+            | _ -> wake := Some t
+          in
+          Array.iter
+            (function
+              | Some { w_state = Busy { b_deadline = Some d; _ }; _ } ->
+                consider d
+              | Some { w_state = Dead { d_ready_at }; _ } ->
+                if !pending <> [] then consider d_ready_at
+              | Some _ | None -> ())
+            workers;
+          List.iter (fun task -> consider task.t_ready_at) !pending;
+          let fds =
+            Array.to_list workers
+            |> List.filter_map (function
+              | Some w ->
+                (match w.w_state with
+                 | Dead _ -> None
+                 | Idle | Busy _ -> Some w.w_rd)
+              | None -> None)
+          in
+          let timeout =
+            match !wake with
+            | None -> -1.0 (* block until a worker speaks *)
+            | Some t -> Float.max 0.001 (t -. Unix.gettimeofday ())
+          in
+          if fds = [] && !wake = None then
+            failwith "Proc_pool.map: stalled (no workers, no scheduled work)";
+          let readable =
+            match Unix.select fds [] [] timeout with
+            | readable, _, _ -> readable
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          Array.iter
+            (function
+              | Some w
+                when (match w.w_state with Dead _ -> false | _ -> true)
+                     && List.memq w.w_rd readable -> handle_readable w
+              | Some _ | None -> ())
+            workers;
+          (* Enforce hard deadlines. *)
+          let now = Unix.gettimeofday () in
+          Array.iter
+            (function
+              | Some
+                  ({ w_state = Busy { b_deadline = Some d; _ }; _ } as w)
+                when now >= d ->
+                Obs.add "proc.kills";
+                (try Unix.kill w.w_pid Sys.sigkill
+                 with Unix.Unix_error _ -> ());
+                let budget =
+                  Option.value limits.deadline_seconds ~default:0.0
+                in
+                reap ~forced:(Hard_deadline budget) w
+              | Some _ | None -> ())
+            workers
+        end
+      done;
+      Array.to_list rows
+      |> List.map (function
+        | Some row -> row
+        | None -> assert false))

@@ -1,0 +1,137 @@
+open! Import
+
+(** An out-of-process worker pool: the fourth execution substrate, after
+    sequential code, {!Par_pool} domains and cooperative supervision.
+
+    {!Supervisor} isolates failures only {e cooperatively}: a tight loop
+    that never reaches a deadline checkpoint, a native stack overflow,
+    or an allocation storm still takes the whole sweep down with it.
+    This pool runs each task in a forked child instead, so the parent
+    can enforce what no in-process layer can:
+
+    - {e hard deadlines}: a worker past its per-attempt wall budget is
+      SIGKILLed (counter [proc.kills]) — even a non-cooperative infinite
+      loop dies on schedule;
+    - {e memory containment}: each worker caps its own address space
+      with [setrlimit(RLIMIT_AS)] ([max_mem_mib] of headroom over the
+      inherited image); an allocation past the cap raises
+      [Out_of_memory] in the child, which exits with a dedicated status
+      the parent reports as an {!Oom_killed} death (counter [proc.oom]);
+    - {e crash containment}: a worker that dies of a signal (segfault,
+      kill) or a nonzero exit costs one failure row, never the sweep;
+    - {e deterministic restarts}: a dead worker is re-forked (counter
+      [proc.restarts]) and the interrupted task re-dispatched under the
+      seeded, jitter-free exponential backoff of {!retry_policy}
+      (counter [proc.retries]).
+
+    Tasks and results cross a length-prefixed pipe as [Marshal] frames
+    (with [Marshal.Closures]; parent and child are the same image, so
+    closures round-trip).  Workers are forked when {!map} is called and
+    inherit the task function and item array by fork, so only an
+    [(index, attempt)] pair travels down and one result frame travels
+    back per task.
+
+    {b Fork before domains.}  The OCaml 5 runtime refuses [Unix.fork]
+    once any domain has ever been spawned — joining them does not lift
+    the restriction — so {!map} must run before the process's first
+    domain-parallel computation.  ({!Par_pool.quiesce} is still called
+    defensively; a too-late call fails fast with a diagnostic naming
+    this constraint.)  The [corpus --isolate] sweep satisfies the rule
+    by construction: process isolation replaces the domain pool rather
+    than nesting inside it. *)
+
+(** {1 Retry policy}
+
+    Shared by this pool and the cooperative {!Supervisor}: the delay
+    before retry [k] (1-based) is [backoff_base * 2^(k-1)] seconds —
+    deterministic and jitter-free, so failure rows and timings are
+    reproducible. *)
+
+type retry_policy =
+  { max_retries : int  (** additional attempts after the first *)
+  ; backoff_base : float  (** seconds before the first retry *)
+  }
+
+val no_retry : retry_policy
+(** [{ max_retries = 0; backoff_base = 0.0 }]. *)
+
+val default_retry : retry_policy
+(** [{ max_retries = 1; backoff_base = 0.0 }] — the retry-once of the
+    original supervisor. *)
+
+val backoff_delay : retry_policy -> attempt:int -> float
+(** Delay before the given attempt (attempt 0 is free; attempt [k >= 1]
+    waits [backoff_base * 2^(k-1)]). *)
+
+val total_backoff : retry_policy -> retries:int -> float
+(** Sum of {!backoff_delay} over attempts [1..retries]. *)
+
+(** {1 Limits} *)
+
+type limits =
+  { deadline_seconds : float option
+        (** hard per-attempt wall budget, enforced by parent SIGKILL *)
+  ; max_mem_mib : int option
+        (** child address-space headroom, enforced by [setrlimit] *)
+  }
+
+val no_limits : limits
+
+(** {1 Outcomes} *)
+
+type death =
+  | Exited of int  (** child exited with this nonzero status *)
+  | Signaled of int  (** child killed by this signal (OCaml numbering) *)
+  | Oom_killed of int  (** allocation past the MiB cap *)
+  | Stack_overflowed  (** native stack exhausted in the child *)
+  | Hard_deadline of float  (** parent SIGKILL after the wall budget *)
+
+val signal_name : int -> string
+(** ["SIGSEGV"], ["SIGKILL"], … or ["signal N"] for exotic ones. *)
+
+val death_message : death -> string
+
+type 'b attempt_result =
+  | Value of 'b  (** the worker returned normally *)
+  | Died of death  (** every attempt ended in a worker death *)
+
+type 'b row =
+  { r_result : 'b attempt_result  (** the final attempt's outcome *)
+  ; r_retries : int  (** attempts beyond the first *)
+  ; r_backoff : float  (** total seconds spent in backoff delays *)
+  ; r_elapsed : float  (** first dispatch to final outcome, wall *)
+  ; r_deaths : death list  (** all worker deaths, oldest first *)
+  }
+
+val in_worker : unit -> bool
+(** True inside a forked pool worker — lets task code pick a
+    child-appropriate strategy (e.g. genuinely allocating into the
+    rlimit rather than raising [Out_of_memory] directly). *)
+
+(** {1 The pool} *)
+
+val map :
+  ?jobs:int ->
+  ?limits:limits ->
+  ?retry:retry_policy ->
+  ?should_retry:('b -> bool) ->
+  ?on_row:(int -> 'b row -> unit) ->
+  (attempt:int -> 'a -> 'b) ->
+  'a list ->
+  'b row list
+(** [map f items] runs [f ~attempt item] for each item in a pool of
+    [jobs] forked workers (default 1; capped at the item count) and
+    returns one row per item, in input order.
+
+    Worker deaths are always eligible for retry; a normally returned
+    value is retried when [should_retry] accepts it (default: never).
+    Either way the attempt budget and backoff come from [retry]
+    (default {!default_retry}).  [on_row] fires in the parent the
+    moment a row is final — the journal layer appends its record there,
+    which is what makes a SIGKILLed sweep resumable.
+
+    [f] should confine its own failures to its return value; an
+    uncaught exception costs the worker its life ([Exited] death).
+    [Out_of_memory] and [Stack_overflow] escaping [f] are translated to
+    the dedicated exit statuses behind {!Oom_killed} and
+    {!Stack_overflowed}. *)

@@ -1,0 +1,43 @@
+/* Address-space cap for forked analysis workers.
+ *
+ * The cap is expressed as headroom over the address space the worker
+ * inherited at fork time: RLIMIT_AS counts every mapping, and an OCaml 5
+ * runtime arrives with a sizeable reserved image, so an absolute cap of
+ * "64 MiB" would kill a worker before it ran a single task.  Measuring
+ * the inherited size from /proc/self/statm keeps the flag meaning "a
+ * task may allocate this much", which is the quantity operators reason
+ * about.
+ */
+
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#include <stdio.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+static long long current_vsize_bytes(void)
+{
+  long pages = 0;
+  FILE *f = fopen("/proc/self/statm", "r");
+  if (f != NULL) {
+    if (fscanf(f, "%ld", &pages) != 1)
+      pages = 0;
+    fclose(f);
+  }
+  return (long long)pages * sysconf(_SC_PAGESIZE);
+}
+
+CAMLprim value droidracer_set_mem_limit_mib(value v_mib)
+{
+  CAMLparam1(v_mib);
+  struct rlimit rl;
+  long long cap =
+      current_vsize_bytes() + (long long)Long_val(v_mib) * 1024 * 1024;
+  rl.rlim_cur = (rlim_t)cap;
+  rl.rlim_max = (rlim_t)cap;
+  if (setrlimit(RLIMIT_AS, &rl) != 0)
+    caml_failwith("setrlimit(RLIMIT_AS) failed");
+  CAMLreturn(Val_unit);
+}

@@ -30,6 +30,7 @@ type failure =
   ; f_reason : reason
   ; f_elapsed : float
   ; f_retries : int
+  ; f_backoff : float
   }
 
 type outcome =
@@ -47,7 +48,8 @@ let failures outcomes =
 let failure_table fs =
   let table =
     Table.create ~title:"Supervisor: applications that did not complete"
-      ~columns:[ "Application"; "Outcome"; "Reason"; "Elapsed"; "Retries" ]
+      ~columns:
+        [ "Application"; "Outcome"; "Reason"; "Elapsed"; "Retries"; "Backoff" ]
   in
   List.iter
     (fun f ->
@@ -57,6 +59,7 @@ let failure_table fs =
          ; reason_detail f.f_reason
          ; Printf.sprintf "%.3fs" f.f_elapsed
          ; string_of_int f.f_retries
+         ; Printf.sprintf "%.3fs" f.f_backoff
          ])
     fs;
   table
@@ -84,11 +87,11 @@ let failures_json_string fs =
     (fun i f ->
        if i > 0 then Buffer.add_char buf ',';
        Printf.bprintf buf
-         "{\"app\":\"%s\",\"outcome\":\"%s\",\"reason\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d}"
+         "{\"app\":\"%s\",\"outcome\":\"%s\",\"reason\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d,\"backoff_seconds\":%.6f}"
          (json_escape f.f_app)
          (reason_label f.f_reason)
          (json_escape (reason_detail f.f_reason))
-         f.f_elapsed f.f_retries)
+         f.f_elapsed f.f_retries f.f_backoff)
     fs;
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
@@ -106,12 +109,23 @@ type fault =
   | Reject_fault
   | Crash_fault
   | Timeout_fault
+  | Oom_fault
+  | Hang_fault
 
 let fault_name = function
   | Parse_fault -> "parse"
   | Reject_fault -> "reject"
   | Crash_fault -> "crash"
   | Timeout_fault -> "timeout"
+  | Oom_fault -> "oom"
+  | Hang_fault -> "hang"
+
+(* The original four classes, in their original positions: under
+   [basic_faults] the plan is bit-identical to the one every pinned seed
+   in the tests and CI was computed against. *)
+let basic_faults = [ Parse_fault; Reject_fault; Crash_fault; Timeout_fault ]
+
+let all_faults = basic_faults @ [ Oom_fault; Hang_fault ]
 
 type decision =
   { d_fault : fault option
@@ -130,25 +144,22 @@ let fnv1a seed app =
   String.iter (fun c -> feed (Char.code c)) app;
   !h
 
-let fault_decision ~seed ~app =
+let fault_decision ?(classes = basic_faults) ~seed ~app () =
   let h = fnv1a seed app in
-  if h mod 3 <> 0 then { d_fault = None; d_transient = false }
-  else
-    let fault =
-      match h / 3 mod 4 with
-      | 0 -> Parse_fault
-      | 1 -> Reject_fault
-      | 2 -> Crash_fault
-      | _ -> Timeout_fault
-    in
-    { d_fault = Some fault; d_transient = h / 12 mod 2 = 0 }
+  if classes = [] || h mod 3 <> 0 then { d_fault = None; d_transient = false }
+  else begin
+    let k = List.length classes in
+    let fault = List.nth classes (h / 3 mod k) in
+    { d_fault = Some fault; d_transient = h / (3 * k) mod 2 = 0 }
+  end
 
-(* The installed plan, visible to every worker domain. *)
-let fault_seed : int option Atomic.t = Atomic.make None
+(* The installed plan, visible to every worker domain (and, by fork, to
+   every isolated worker process). *)
+let fault_plan : (int * fault list) option Atomic.t = Atomic.make None
 
-let with_faults ~seed f =
-  Atomic.set fault_seed (Some seed);
-  Fun.protect ~finally:(fun () -> Atomic.set fault_seed None) f
+let with_faults ?(classes = basic_faults) ~seed f =
+  Atomic.set fault_plan (Some (seed, classes));
+  Fun.protect ~finally:(fun () -> Atomic.set fault_plan None) f
 
 (* {1 The supervised pipeline} *)
 
@@ -156,10 +167,10 @@ exception Rejected_exn of string
 exception Timed_out_exn of float
 
 let injected cls ~attempt name =
-  match Atomic.get fault_seed with
+  match Atomic.get fault_plan with
   | None -> false
-  | Some seed ->
-    let d = fault_decision ~seed ~app:name in
+  | Some (seed, classes) ->
+    let d = fault_decision ~classes ~seed ~app:name () in
     (match d.d_fault with
      | Some f when f = cls -> (not d.d_transient) || attempt = 0
      | Some _ | None -> false)
@@ -171,6 +182,42 @@ let checkpoint ~deadline =
   match deadline with
   | Some (d, t) when Unix.gettimeofday () > d -> raise (Timed_out_exn t)
   | Some _ | None -> ()
+
+(* The two non-cooperative fault classes.  Inside an isolated worker
+   they misbehave for real — the allocation storm runs into the child's
+   rlimit and the hang never reaches a checkpoint, so containment is
+   exercised end to end.  In the cooperative (in-process) supervisor
+   they stay survivable: the storm is simulated by raising directly
+   (genuinely exhausting memory would take the whole sweep down, which
+   is the point of --isolate), and the hang polls the cooperative
+   deadline. *)
+
+let trigger_oom () =
+  if Proc_pool.in_worker () then begin
+    let hoard = ref [] in
+    (* Bounded so an uncapped worker cannot eat the host; any realistic
+       --max-mem trips the rlimit long before 8 GiB. *)
+    for _ = 1 to 512 do
+      hoard := Bytes.create (16 * 1024 * 1024) :: !hoard
+    done;
+    ignore (Sys.opaque_identity !hoard)
+  end;
+  raise Out_of_memory
+
+let hang ~deadline =
+  if Proc_pool.in_worker () then
+    let rec spin () =
+      Unix.sleepf 3600.0;
+      spin ()
+    in
+    spin ()
+  else
+    let rec spin () =
+      checkpoint ~deadline;
+      Unix.sleepf 0.05;
+      spin ()
+    in
+    spin ()
 
 (* Over the event budget the analysis degrades instead of refusing:
    the sparse worklist engine computes the identical relation with far
@@ -211,6 +258,8 @@ let attempt_app ~config ~budget ~attempt spec =
   if injected Timeout_fault ~attempt name then
     raise
       (Timed_out_exn (Option.value budget.timeout_seconds ~default:0.0));
+  if injected Oom_fault ~attempt name then trigger_oom ();
+  if injected Hang_fault ~attempt name then hang ~deadline;
   if injected Parse_fault ~attempt name then
     raise
       (Rejected_exn
@@ -249,44 +298,179 @@ let attempt_app ~config ~budget ~attempt spec =
   checkpoint ~deadline;
   { Experiments.ar_built = built; ar_result = result; ar_report = report }
 
-let run_app ?(config = Detector.default_config) ?(budget = no_budget) spec =
+(* One attempt, classified.  [Out_of_memory] and [Stack_overflow] are
+   deliberately NOT captured here: containment for those belongs to the
+   process layer (the isolated child exits with a dedicated status), so
+   they must escape the classifier.  The cooperative wrapper in
+   {!run_app} catches them one level up instead. *)
+let attempt_result ~config ~budget ~attempt spec =
+  match attempt_app ~config ~budget ~attempt spec with
+  | run -> Ok run
+  | exception Rejected_exn msg ->
+    Obs.add "ingest.rejected";
+    Error (Rejected msg)
+  | exception Timed_out_exn t ->
+    Obs.add "supervisor.timeouts";
+    Error (Timed_out t)
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception exn -> Error (Crashed (Printexc.to_string exn))
+
+let retryable = function
+  | Rejected _ ->
+    (* Rejection is a verdict about the input, which a retry cannot
+       change; crashes and timeouts may be environmental. *)
+    false
+  | Crashed _ | Timed_out _ -> true
+
+let run_app ?(config = Detector.default_config) ?(budget = no_budget)
+    ?(retry = Proc_pool.default_retry) spec =
   let name = spec.Synthetic.s_name in
   let started = Unix.gettimeofday () in
   let once attempt =
-    match attempt_app ~config ~budget ~attempt spec with
-    | run -> Ok run
-    | exception Rejected_exn msg ->
-      Obs.add "ingest.rejected";
-      Error (Rejected msg)
-    | exception Timed_out_exn t ->
-      Obs.add "supervisor.timeouts";
-      Error (Timed_out t)
-    | exception exn -> Error (Crashed (Printexc.to_string exn))
+    match attempt_result ~config ~budget ~attempt spec with
+    | r -> r
+    | exception Out_of_memory -> Error (Crashed "out of memory")
+    | exception Stack_overflow -> Error (Crashed "stack overflow")
   in
-  let fail reason retries =
+  let fail reason retries backoff =
     Failed
       { f_app = name
       ; f_reason = reason
       ; f_elapsed = Unix.gettimeofday () -. started
       ; f_retries = retries
+      ; f_backoff = backoff
       }
   in
-  match once 0 with
-  | Ok run -> Completed run
-  | Error (Rejected _ as reason) ->
-    (* Rejection is a verdict about the input, which a retry cannot
-       change; crashes and timeouts may be environmental. *)
-    fail reason 0
-  | Error (Crashed _ | Timed_out _) ->
-    Obs.add "supervisor.retries";
-    (match once 1 with
-     | Ok run -> Completed run
-     | Error reason -> fail reason 1)
+  let rec go attempt backoff =
+    match once attempt with
+    | Ok run -> Completed run
+    | Error reason ->
+      if retryable reason && attempt < retry.Proc_pool.max_retries then begin
+        Obs.add "supervisor.retries";
+        let delay = Proc_pool.backoff_delay retry ~attempt:(attempt + 1) in
+        if delay > 0.0 then Unix.sleepf delay;
+        go (attempt + 1) (backoff +. delay)
+      end
+      else fail reason attempt backoff
+  in
+  go 0 0.0
+
+(* {1 Catalog sweeps} *)
+
+type mode =
+  | Cooperative
+  | Isolated of { max_mem_mib : int option }
+
+let reason_of_death death =
+  match death with
+  | Proc_pool.Hard_deadline t -> Timed_out t
+  | d -> Crashed (Proc_pool.death_message d)
+
+let outcome_of_row spec (row : _ Proc_pool.row) =
+  match row.Proc_pool.r_result with
+  | Proc_pool.Value (Ok run) -> Completed run
+  | Proc_pool.Value (Error reason) ->
+    Failed
+      { f_app = spec.Synthetic.s_name
+      ; f_reason = reason
+      ; f_elapsed = row.Proc_pool.r_elapsed
+      ; f_retries = row.Proc_pool.r_retries
+      ; f_backoff = row.Proc_pool.r_backoff
+      }
+  | Proc_pool.Died death ->
+    Failed
+      { f_app = spec.Synthetic.s_name
+      ; f_reason = reason_of_death death
+      ; f_elapsed = row.Proc_pool.r_elapsed
+      ; f_retries = row.Proc_pool.r_retries
+      ; f_backoff = row.Proc_pool.r_backoff
+      }
+
+let record_outcome journal ~app outcome =
+  match journal with
+  | None -> ()
+  | Some j ->
+    Journal.append j ~app
+      ~payload:(Marshal.to_string (outcome : outcome) [ Marshal.Closures ])
+
+(* Outcomes already journalled by an interrupted sweep; replayed instead
+   of re-run.  The journal layer has already discarded records from a
+   different binary, so unmarshalling (closures included) is safe. *)
+let journalled_outcomes journal =
+  match journal with
+  | None -> Hashtbl.create 0
+  | Some j ->
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun (app, payload) ->
+         match (Marshal.from_string payload 0 : outcome) with
+         | outcome ->
+           if not (Hashtbl.mem table app) then Hashtbl.add table app outcome
+         | exception _ -> ())
+      (Journal.prior j);
+    table
 
 let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
-    ?(config = Detector.default_config) ?(budget = no_budget) () =
+    ?(config = Detector.default_config) ?(budget = no_budget)
+    ?(retry = Proc_pool.default_retry) ?(mode = Cooperative) ?journal () =
   Obs.with_span "supervisor.catalog" @@ fun () ->
-  Par_pool.parallel_map ~jobs (fun spec -> run_app ~config ~budget spec) specs
+  let prior = journalled_outcomes journal in
+  let resumed name = Hashtbl.find_opt prior name in
+  let to_run =
+    List.filter
+      (fun spec -> resumed spec.Synthetic.s_name = None)
+      specs
+  in
+  let n_resumed = List.length specs - List.length to_run in
+  if n_resumed > 0 then Obs.add ~n:n_resumed "journal.resumed";
+  let fresh = Hashtbl.create 16 in
+  let record spec outcome =
+    record_outcome journal ~app:spec.Synthetic.s_name outcome
+  in
+  (match mode with
+   | Cooperative ->
+     (* The journal append is mutex-protected, so recording from worker
+        domains as each app finishes is safe — and is what bounds the
+        loss of a killed sweep to the apps still in flight. *)
+     List.iter2
+       (fun spec outcome -> Hashtbl.replace fresh spec.Synthetic.s_name outcome)
+       to_run
+       (Par_pool.parallel_map ~jobs
+          (fun spec ->
+             let outcome = run_app ~config ~budget ~retry spec in
+             record spec outcome;
+             outcome)
+          to_run)
+   | Isolated { max_mem_mib } ->
+     let specs_arr = Array.of_list to_run in
+     let limits =
+       { Proc_pool.deadline_seconds = budget.timeout_seconds; max_mem_mib }
+     in
+     let rows =
+       Proc_pool.map ~jobs ~limits ~retry
+         ~should_retry:(function
+           | Ok _ -> false
+           | Error reason -> retryable reason)
+         ~on_row:(fun idx row ->
+           record specs_arr.(idx) (outcome_of_row specs_arr.(idx) row))
+         (fun ~attempt spec -> attempt_result ~config ~budget ~attempt spec)
+         to_run
+     in
+     List.iteri
+       (fun idx row ->
+          Hashtbl.replace fresh specs_arr.(idx).Synthetic.s_name
+            (outcome_of_row specs_arr.(idx) row))
+       rows);
+  List.map
+    (fun spec ->
+       let name = spec.Synthetic.s_name in
+       match resumed name with
+       | Some outcome -> outcome
+       | None ->
+         (match Hashtbl.find_opt fresh name with
+          | Some outcome -> outcome
+          | None -> assert false))
+    specs
 
 let analyze ?(config = Detector.default_config) ?(jobs = 1)
     ?(budget = no_budget) ~name trace =
@@ -297,6 +481,7 @@ let analyze ?(config = Detector.default_config) ?(jobs = 1)
       ; f_reason = reason
       ; f_elapsed = Unix.gettimeofday () -. started
       ; f_retries = 0
+      ; f_backoff = 0.0
       }
   in
   match

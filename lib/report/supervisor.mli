@@ -22,14 +22,23 @@ open! Import
       the re-scanning cost differs);
     - {e exception capture}: any exception becomes a {!failure} row
       carrying the application, reason and elapsed time;
-    - {e retry-once}: crashes and timeouts are retried exactly once
-      (counter [supervisor.retries]); rejected input is deterministic,
-      so rejections are never retried.
+    - {e retries with deterministic backoff}: crashes and timeouts are
+      retried under a {!Proc_pool.retry_policy} (default: retry-once,
+      no delay; counter [supervisor.retries]); rejected input is
+      deterministic, so rejections are never retried.
 
-    Outcomes are deterministic across [jobs] values: {!Par_pool}
-    preserves order, and the fault plan of {!with_faults} is a pure
-    function of the seed and the application name, independent of
-    scheduling. *)
+    All of the above is {e cooperative}: a task that never reaches a
+    deadline checkpoint, overflows the native stack, or genuinely
+    exhausts memory still takes the sweep down.  {!run_catalog} in
+    {!Isolated} mode closes that gap by running each attempt in a
+    forked {!Proc_pool} worker, which adds hard SIGKILL deadlines,
+    rlimit memory caps, and crash containment — and, combined with a
+    {!Journal}, makes a sweep resumable after [kill -9].
+
+    Outcomes are deterministic across [jobs] values and across modes:
+    {!Par_pool} and {!Proc_pool} preserve order, and the fault plan of
+    {!with_faults} is a pure function of the seed and the application
+    name, independent of scheduling. *)
 
 (** {1 Budgets} *)
 
@@ -60,7 +69,8 @@ type failure =
   { f_app : string
   ; f_reason : reason
   ; f_elapsed : float  (** wall-clock across all attempts *)
-  ; f_retries : int  (** 0 or 1 *)
+  ; f_retries : int  (** attempts beyond the first *)
+  ; f_backoff : float  (** total seconds spent in retry backoff delays *)
   }
 
 type outcome =
@@ -75,8 +85,9 @@ val failure_table : failure list -> Table.t
 
 val failures_json_string : failure list -> string
 (** Schema [droidracer-failures/1]: one object per failed application
-    with [app], [outcome] ({!reason_label}), [reason], [elapsed_seconds]
-    and [retries] — the artefact CI archives. *)
+    with [app], [outcome] ({!reason_label}), [reason],
+    [elapsed_seconds], [retries] and [backoff_seconds] — the artefact
+    CI archives. *)
 
 (** {1 Fault injection}
 
@@ -91,8 +102,25 @@ type fault =
   | Reject_fault  (** the validator refuses the trace *)
   | Crash_fault  (** the analysis task raises *)
   | Timeout_fault  (** the wall-clock budget fires *)
+  | Oom_fault
+      (** inside an isolated worker: a genuine allocation storm into the
+          child's rlimit; cooperatively: [Out_of_memory] raised directly
+          (an in-process storm would kill the sweep) *)
+  | Hang_fault
+      (** inside an isolated worker: a genuine non-cooperative hang,
+          ended only by the parent's SIGKILL; cooperatively: a loop that
+          polls the deadline (and so hangs forever if there is no
+          wall-clock budget — Hang is meant for [--isolate]) *)
 
 val fault_name : fault -> string
+
+val basic_faults : fault list
+(** The original four classes, in their original positions — the
+    default, under which the plan for every seed is bit-identical to
+    what it was before {!Oom_fault} and {!Hang_fault} existed. *)
+
+val all_faults : fault list
+(** [basic_faults] plus [Oom_fault] and [Hang_fault]. *)
 
 type decision =
   { d_fault : fault option
@@ -101,31 +129,69 @@ type decision =
             recovers; a persistent one hits both attempts *)
   }
 
-val fault_decision : seed:int -> app:string -> decision
-(** The plan for one application under one seed. *)
+val fault_decision :
+  ?classes:fault list -> seed:int -> app:string -> unit -> decision
+(** The plan for one application under one seed, drawn from [classes]
+    (default {!basic_faults}). *)
 
-val with_faults : seed:int -> (unit -> 'a) -> 'a
-(** [with_faults ~seed f] runs [f] with the fault plan for [seed]
-    installed (an atomic, so worker domains see it too); the plan is
-    removed when [f] returns or raises. *)
+val with_faults : ?classes:fault list -> seed:int -> (unit -> 'a) -> 'a
+(** [with_faults ~seed f] runs [f] with the fault plan for [seed] over
+    [classes] (default {!basic_faults}) installed (an atomic, so worker
+    domains — and forked workers, by inheritance — see it too); the
+    plan is removed when [f] returns or raises. *)
 
 (** {1 Supervised drivers} *)
 
 val run_app :
-  ?config:Detector.config -> ?budget:budget -> Synthetic.spec -> outcome
+  ?config:Detector.config ->
+  ?budget:budget ->
+  ?retry:Proc_pool.retry_policy ->
+  Synthetic.spec ->
+  outcome
 (** One application through the supervised pipeline (build, run,
-    validate, analyze), with retry-once. *)
+    validate, analyze), retried under [retry] (default
+    {!Proc_pool.default_retry}: once, no delay) with deterministic
+    exponential backoff between attempts. *)
+
+type mode =
+  | Cooperative  (** in-process, on {!Par_pool} domains *)
+  | Isolated of { max_mem_mib : int option }
+      (** each attempt in a forked {!Proc_pool} worker: hard SIGKILL
+          deadlines (from [budget.timeout_seconds]), an optional
+          address-space cap, crash containment.  Per-app telemetry
+          counters incremented inside workers die with them; the
+          parent-side [proc.*] counters survive.  Must run before the
+          process's first domain-parallel computation — OCaml 5 refuses
+          [fork] once any domain has ever been spawned (see
+          {!Proc_pool}) — which the [--isolate] CLI path guarantees by
+          making the sweep the first parallel work of the process. *)
+
+val reason_of_death : Proc_pool.death -> reason
+(** How a worker death reads as a failure row: a hard-deadline kill is
+    a {!Timed_out}; everything else is a {!Crashed} carrying
+    {!Proc_pool.death_message}. *)
 
 val run_catalog :
   ?jobs:int ->
   ?specs:Synthetic.spec list ->
   ?config:Detector.config ->
   ?budget:budget ->
+  ?retry:Proc_pool.retry_policy ->
+  ?mode:mode ->
+  ?journal:Journal.t ->
   unit ->
   outcome list
 (** The supervised {!Experiments.run_catalog}: same order and
     parallelism contract, but misbehaving applications yield {!Failed}
-    rows instead of aborting the sweep. *)
+    rows instead of aborting the sweep.
+
+    With [~journal], every finished outcome is durably appended the
+    moment it is known (from whichever domain or [on_row] callback saw
+    it), and outcomes already present in the journal — a resumed run —
+    are replayed instead of re-run (counter [journal.resumed]).
+    Because the fault plan, the analysis, and the retry backoff are all
+    deterministic, an interrupted-and-resumed sweep reproduces the
+    uninterrupted tables bit for bit, whatever [jobs] is. *)
 
 val analyze :
   ?config:Detector.config ->

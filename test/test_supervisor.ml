@@ -61,8 +61,8 @@ let test_fault_decision_pure () =
     (fun seed ->
        List.iter
          (fun app ->
-            let d1 = Supervisor.fault_decision ~seed ~app in
-            let d2 = Supervisor.fault_decision ~seed ~app in
+            let d1 = Supervisor.fault_decision ~seed ~app () in
+            let d2 = Supervisor.fault_decision ~seed ~app () in
             check_bool "same decision twice" true (d1 = d2))
          spec_names)
     [ 1; 2; 3; 4; 5; 6 ];
@@ -73,7 +73,7 @@ let test_fault_decision_pure () =
     List.iter
       (fun (s : Synthetic.spec) ->
          match
-           (Supervisor.fault_decision ~seed ~app:s.Synthetic.s_name)
+           (Supervisor.fault_decision ~seed ~app:s.Synthetic.s_name ())
              .Supervisor.d_fault
          with
          | Some f -> Hashtbl.replace seen (Supervisor.fault_name f) ()
@@ -88,7 +88,7 @@ let test_fault_decision_pure () =
 
 let test_pinned_plan () =
   let aard = List.nth spec_names 0 and music = List.nth spec_names 1 in
-  let decision seed app = Supervisor.fault_decision ~seed ~app in
+  let decision seed app = Supervisor.fault_decision ~seed ~app () in
   check_bool "seed 1: Aard = transient parse" true
     (decision 1 aard
      = { Supervisor.d_fault = Some Supervisor.Parse_fault; d_transient = true });
@@ -281,11 +281,13 @@ let sample_failures =
     ; f_reason = Supervisor.Rejected "line 3: [fifo-violation] out of order"
     ; f_elapsed = 0.25
     ; f_retries = 0
+    ; f_backoff = 0.0
     }
   ; { Supervisor.f_app = "Other"
     ; f_reason = Supervisor.Timed_out 1.5
     ; f_elapsed = 3.0
     ; f_retries = 1
+    ; f_backoff = 0.5
     }
   ]
 
@@ -307,7 +309,10 @@ let test_failures_json () =
           = Some (Json_parse.String "timeout"));
        check_bool "second retries" true
          (Json_parse.member "retries" second
-          = Some (Json_parse.Number 1.0))
+          = Some (Json_parse.Number 1.0));
+       check_bool "second backoff_seconds" true
+         (Json_parse.member "backoff_seconds" second
+          = Some (Json_parse.Number 0.5))
      | _ -> Alcotest.fail "failures array missing")
 
 let test_failure_table () =

@@ -14,6 +14,10 @@
    - [--hb-engines-json PATH] also write the dense-versus-worklist
                    closure-engine comparison (per application and
                    engine: edges, passes, word ORs, wall time);
+   - [--streaming-json PATH] also write the streaming engine's
+                   throughput and memory profile (schema
+                   droidracer-streaming/1; the CI streaming gate
+                   archives it);
    - [--trace-out PATH]   enable telemetry and write a Chrome
                    trace_event JSON of the whole run (one track per
                    analysis domain; chrome://tracing / Perfetto);
@@ -26,7 +30,9 @@ module Graph = Droidracer_core.Graph
 module Happens_before = Droidracer_core.Happens_before
 module Detector = Droidracer_core.Detector
 module Clock_engine = Droidracer_core.Clock_engine
+module Streaming_engine = Droidracer_core.Streaming_engine
 module Par_pool = Droidracer_core.Par_pool
+module Longtrace = Droidracer_corpus.Longtrace
 module Runtime = Droidracer_appmodel.Runtime
 module Music_player = Droidracer_corpus.Music_player
 module Catalog = Droidracer_corpus.Catalog
@@ -46,6 +52,7 @@ type options =
   ; jobs : int
   ; json : string option
   ; hb_engines_json : string option
+  ; streaming_json : string option
   ; trace_out : string option
   ; metrics_out : string option
   }
@@ -53,7 +60,7 @@ type options =
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
-     [--trace-out PATH] [--metrics-out PATH]";
+     [--streaming-json PATH] [--trace-out PATH] [--metrics-out PATH]";
   exit 2
 
 let parse_options () =
@@ -70,6 +77,8 @@ let parse_options () =
         go (i + 2) { acc with json = Some Sys.argv.(i + 1) }
       | "--hb-engines-json" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with hb_engines_json = Some Sys.argv.(i + 1) }
+      | "--streaming-json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with streaming_json = Some Sys.argv.(i + 1) }
       | "--trace-out" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with trace_out = Some Sys.argv.(i + 1) }
       | "--metrics-out" when i + 1 < Array.length Sys.argv ->
@@ -81,6 +90,7 @@ let parse_options () =
     ; jobs = Par_pool.default_jobs ()
     ; json = None
     ; hb_engines_json = None
+    ; streaming_json = None
     ; trace_out = None
     ; metrics_out = None
     }
@@ -342,6 +352,104 @@ let supervision_overhead ~jobs =
      else "n/a");
   Table.print table
 
+(* {1 Streaming engine}
+
+   Two measurements.  Agreement-and-cost: the streaming engine against
+   the batch worklist engine on a generated trace small enough for both
+   to hold (streaming races must be a subset — on this lock-free
+   workload, the same races).  Throughput: the streaming engine alone
+   over a larger trace streamed from disk, which is the regime the
+   batch engines cannot enter; the stats go to BENCH_streaming.json. *)
+
+let streaming_stage ~quick ~streaming_json =
+  let small_events = if quick then 10_000 else 20_000 in
+  let rev_events = ref [] in
+  let n =
+    Longtrace.generate ~events:small_events (fun e ->
+      rev_events := e :: !rev_events)
+  in
+  assert (n = small_events);
+  let trace = Trace.remove_cancelled (Trace.of_events_exn (List.rev !rev_events)) in
+  let worklist_config =
+    { Detector.default_config with
+      hb = { Happens_before.default with closure = Happens_before.Worklist }
+    }
+  in
+  let batch_report, batch_dt =
+    timed "streaming_vs_worklist_batch" (fun () ->
+      Detector.analyze ~config:worklist_config trace)
+  in
+  let (stream_races, _small_stats), stream_dt =
+    timed "streaming_vs_worklist_stream" (fun () ->
+      Streaming_engine.detect trace)
+  in
+  let batch_races =
+    List.map (fun c -> c.Detector.race) batch_report.Detector.all_races
+  in
+  let pair (r : Droidracer_core.Race.t) =
+    (r.Droidracer_core.Race.first.Droidracer_core.Race.position,
+     r.Droidracer_core.Race.second.Droidracer_core.Race.position)
+  in
+  let batch_pairs = List.map pair batch_races in
+  let subset =
+    List.for_all (fun r -> List.mem (pair r) batch_pairs) stream_races
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Streaming vs worklist (%d generated events)"
+           small_events)
+      ~columns:[ "engine"; "races"; "wall"; "relative" ]
+  in
+  Table.add_row table
+    [ "worklist (batch)"
+    ; string_of_int (List.length batch_races)
+    ; Printf.sprintf "%.3fs" batch_dt
+    ; "1.0x"
+    ];
+  Table.add_row table
+    [ "streaming (single pass)"
+    ; string_of_int (List.length stream_races)
+    ; Printf.sprintf "%.3fs" stream_dt
+    ; (if batch_dt > 0. then Printf.sprintf "%.1fx" (stream_dt /. batch_dt)
+       else "n/a")
+    ];
+  Table.print table;
+  Printf.printf "streaming races are a subset of worklist races: %b\n" subset;
+  if not subset then exit 1;
+  let big_events = if quick then 50_000 else 200_000 in
+  let path = Filename.temp_file "droidracer_bench" ".trace" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let written = Longtrace.write ~events:big_events path in
+  let result, detect_dt =
+    timed "streaming_throughput" (fun () -> Streaming_engine.detect_file path)
+  in
+  match result with
+  | Error e ->
+    Printf.eprintf "bench: streaming read failed: %s\n"
+      (Droidracer_trace.Trace_io.read_error_message e);
+    exit 1
+  | Ok (races, stats) ->
+    Printf.printf
+      "streamed %d events in %.3fs wall (%.1f kev/s), %d race(s), peak %d \
+       live slots / %d clock entries\n"
+      written detect_dt
+      (float_of_int written /. 1e3 /. Float.max 1e-9 detect_dt)
+      (List.length races) stats.Streaming_engine.peak_live_slots
+      stats.Streaming_engine.peak_clock_entries;
+    Option.iter
+      (fun out ->
+         let oc = Out_channel.open_text out in
+         Out_channel.output_string oc
+           (Streaming_engine.stats_json_string ~label:"longtrace"
+              ~elapsed_seconds:detect_dt
+              ~peak_rss_kb:(Streaming_engine.peak_rss_kb ())
+              stats);
+         Out_channel.close oc;
+         Printf.printf "wrote %s\n" out)
+      streaming_json
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let microbenchmarks (runs : Experiments.app_run list) =
@@ -486,6 +594,8 @@ let () =
   Table.print (hb_engine_table eruns);
   Option.iter (fun path -> write_hb_engines_json path eruns)
     opts.hb_engines_json;
+  section "Streaming engine: bounded memory, single pass";
+  streaming_stage ~quick ~streaming_json:opts.streaming_json;
   section "Ablation: specialized happens-before relations";
   ignore (timed "baseline_ablation" (fun () ->
     Table.print (Experiments.baseline_table runs)));

@@ -7,6 +7,7 @@
    - [explore APP]   systematic UI exploration + race detection
    - [verify APP]    detect and verify races via schedule perturbation
    - [corpus]        regenerate Tables 2 and 3 for the paper's corpus
+   - [synth FILE]    generate an arbitrarily long admissible trace
    - [lifecycle]     print the Figure 8 activity lifecycle *)
 
 module Trace = Droidracer_trace.Trace
@@ -14,6 +15,7 @@ module Trace_io = Droidracer_trace.Trace_io
 module Wellformed = Droidracer_trace.Wellformed
 module Step = Droidracer_semantics.Step
 module Happens_before = Droidracer_core.Happens_before
+module Streaming_engine = Droidracer_core.Streaming_engine
 module Detector = Droidracer_core.Detector
 module Classify = Droidracer_core.Classify
 module Race = Droidracer_core.Race
@@ -24,6 +26,7 @@ module Music_player = Droidracer_corpus.Music_player
 module Bug_apps = Droidracer_corpus.Bug_apps
 module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
+module Longtrace = Droidracer_corpus.Longtrace
 module Explorer = Droidracer_explorer.Explorer
 module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
@@ -127,11 +130,14 @@ let jobs_arg =
 
 let hb_engine_arg =
   let doc =
-    "Transitive-closure engine for the happens-before fixpoint: \
-     $(b,dense) re-propagates every row each pass, $(b,worklist) only \
-     re-propagates predecessors of rows that changed.  The computed \
-     relation (and hence every reported race) is identical; only the \
-     wall time differs."
+    "Happens-before engine: $(b,dense) re-propagates every row of the \
+     closure each pass, $(b,worklist) only re-propagates predecessors \
+     of rows that changed (identical relation, identical races), \
+     $(b,streaming) detects races in one forward pass over the events \
+     with epoch-adaptive vector clocks — memory stays proportional to \
+     live entities, not trace length, at the price of a sound \
+     under-approximation (never a false race the batch engines would \
+     not report; identical races on lock-free traces)."
   in
   Arg.(
     value
@@ -139,6 +145,7 @@ let hb_engine_arg =
         (enum
            [ ("dense", Happens_before.Dense)
            ; ("worklist", Happens_before.Worklist)
+           ; ("streaming", Happens_before.Streaming)
            ])
         Happens_before.Dense
     & info [ "hb-engine" ] ~docv:"ENGINE" ~doc)
@@ -162,9 +169,11 @@ let budget_term =
   in
   let max_events =
     let doc =
-      "Event-count budget: traces longer than $(docv) are analysed \
-       with the sparse worklist closure engine instead of the dense \
-       one (identical relation, graceful degradation)."
+      "Event-count budget: traces longer than $(docv) degrade down the \
+       engine ladder — to the sparse worklist closure engine (identical \
+       relation) when moderately over, and to the bounded-memory \
+       streaming engine (sound under-approximation) when more than 10x \
+       over."
     in
     Arg.(value & opt (some int) None
          & info [ "max-events" ] ~docv:"N" ~doc)
@@ -333,9 +342,62 @@ let analyze_cmd =
          & info [ "coverage" ]
              ~doc:"Group races by race coverage and print root races only.")
   in
+  let streaming_json =
+    Arg.(value & opt (some string) None
+         & info [ "streaming-json" ] ~docv:"FILE"
+             ~doc:
+               "With $(b,--hb-engine streaming): write the engine's \
+                throughput and memory profile (schema \
+                droidracer-streaming/1) to $(docv).")
+  in
+  (* The streaming engine's whole point is never materialising the
+     trace, so its path reads the file twice — a validation pass, then
+     the detection pass — instead of loading it once. *)
+  let run_streaming file show_all coverage streaming_json =
+    if coverage then
+      or_die
+        (Error
+           "--coverage needs a batch engine: the streaming engine never \
+            materialises the happens-before relation");
+    let started = Unix.gettimeofday () in
+    (match Wellformed.check_file file with
+     | Ok _stats -> ()
+     | Error f ->
+       or_die
+         (Error (Printf.sprintf "%s: %s" file (Wellformed.failure_message f))));
+    match Streaming_engine.detect_file file with
+    | Error e ->
+      or_die
+        (Error (Printf.sprintf "%s: %s" file (Trace_io.read_error_message e)))
+    | Ok (races, stats) ->
+      let elapsed = Unix.gettimeofday () -. started in
+      Printf.printf "%d events, %d race(s) [streaming engine]\n"
+        stats.Streaming_engine.events (List.length races);
+      Printf.printf
+        "peak live slots %d, peak clock entries %d (%d slots retired)\n"
+        stats.Streaming_engine.peak_live_slots
+        stats.Streaming_engine.peak_clock_entries
+        stats.Streaming_engine.slots_retired;
+      if show_all then
+        List.iter (fun r -> Format.printf "%a@." Race.pp r) races;
+      Option.iter
+        (fun path ->
+           Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc
+               (Streaming_engine.stats_json_string ~label:file
+                  ~elapsed_seconds:elapsed
+                  ~peak_rss_kb:(Streaming_engine.peak_rss_kb ())
+                  stats));
+           Printf.eprintf "wrote streaming stats to %s\n%!" path)
+        streaming_json
+  in
   let run file no_coalesce no_enables show_all coverage jobs closure budget
-      telemetry =
+      streaming_json telemetry =
     with_telemetry telemetry @@ fun () ->
+    match closure with
+    | Happens_before.Streaming ->
+      run_streaming file show_all coverage streaming_json
+    | Happens_before.Dense | Happens_before.Worklist ->
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
     | Ok trace ->
@@ -378,7 +440,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
     Term.(
       const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
-      $ jobs_arg $ hb_engine_arg $ budget_term $ telemetry_term)
+      $ jobs_arg $ hb_engine_arg $ budget_term $ streaming_json
+      $ telemetry_term)
 
 let validate_cmd =
   let files =
@@ -834,6 +897,48 @@ let corpus_cmd =
       $ budget_term $ inject_faults $ fault_classes $ failures_json $ isolate
       $ max_mem $ journal $ resume $ max_retries $ backoff $ telemetry_term)
 
+let synth_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let events =
+    Arg.(value & opt int 1_000_000
+         & info [ "events"; "n" ] ~docv:"N"
+             ~doc:"Number of events to generate.")
+  in
+  let seed =
+    Arg.(value & opt int Longtrace.default_config.Longtrace.seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"PRNG seed; the trace is a pure function of the \
+                   configuration.")
+  in
+  let loopers =
+    Arg.(value & opt int Longtrace.default_config.Longtrace.loopers
+         & info [ "loopers" ] ~docv:"N"
+             ~doc:"Looper threads the driver rotates posts over.")
+  in
+  let locations =
+    Arg.(value & opt int Longtrace.default_config.Longtrace.locations
+         & info [ "locations" ] ~docv:"N"
+             ~doc:"Size of each memory-location pool (private and \
+                   shared).")
+  in
+  let run out events seed loopers locations =
+    let config =
+      { Longtrace.default_config with Longtrace.seed; loopers; locations }
+    in
+    let n = Longtrace.write ~config ~events out in
+    Printf.printf "wrote %d events to %s\n" n out
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Generate an arbitrarily long admissible trace (streamed to \
+          disk, constant memory) — the workload for the streaming \
+          engine and the CI memory gate.")
+    Term.(const run $ out $ events $ seed $ loopers $ locations)
+
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in
   Cmd.v
@@ -857,5 +962,6 @@ let () =
           ; explore_cmd
           ; verify_cmd
           ; corpus_cmd
+          ; synth_cmd
           ; lifecycle_cmd
           ]))

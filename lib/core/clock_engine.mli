@@ -29,6 +29,12 @@ type stats =
   ; comparisons : int  (** access-pair happens-before checks *)
   }
 
+val fifo_flavours_ok :
+  Operation.post_flavour -> Operation.post_flavour -> bool
+(** The flavour side condition of the refined FIFO rule (Section 4.2):
+    may a task completed with the first flavour be FIFO-ordered before
+    one posted with the second?  Shared with {!Streaming_engine}. *)
+
 val detect : Trace.t -> Race.t list * stats
 (** Races in lexicographic position order, deduplicated per conflicting
     pair, plus engine statistics.  The trace should be structurally

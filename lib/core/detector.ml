@@ -40,6 +40,8 @@ let phase_names =
   ; "classify"
   ]
 
+let streaming_phase_names = [ "filter_cancelled"; "streaming_detect"; "classify" ]
+
 let phase_seconds report name =
   Option.value (List.assoc_opt name report.phase_seconds) ~default:0.0
 
@@ -79,6 +81,44 @@ let analyze ?(config = default_config) ?(jobs = 1) trace =
     phases_rev := (name, Unix.gettimeofday () -. t0) :: !phases_rev;
     v
   in
+  match config.hb.closure with
+  | Happens_before.Streaming ->
+    (* Streaming pipeline: filter, one engine pass, classify.  Race
+       classification needs happens-before answers only for the
+       co-enabled refinement; the streaming engine keeps no queryable
+       relation, so [hb_or_eq] is the constant over-approximation
+       [true] — co-enabled races degrade to the later categories, every
+       other class is computed exactly from the trace structure. *)
+    let trace =
+      phase "filter_cancelled" (fun () -> Trace.remove_cancelled trace)
+    in
+    let races, stats =
+      phase "streaming_detect" (fun () -> Streaming_engine.detect trace)
+    in
+    let all_races =
+      phase "classify" (fun () ->
+        List.map
+          (fun race ->
+             { race
+             ; category =
+                 Classify.classify trace ~hb_or_eq:(fun _ _ -> true) race
+             })
+          races)
+    in
+    { trace
+    ; all_races
+    ; distinct_races = dedup_distinct all_races
+    ; trace_stats = Trace.stats trace
+    ; nodes = stats.Streaming_engine.slots_allocated
+    ; uncoalesced_nodes = Trace.length trace
+    ; hb_edges = 0
+    ; fixpoint_passes = 1
+    ; hb_word_ors = 0
+    ; hb_rows_requeued = 0
+    ; elapsed_seconds = Unix.gettimeofday () -. started
+    ; phase_seconds = List.rev !phases_rev
+    }
+  | Happens_before.Dense | Happens_before.Worklist ->
   let trace =
     phase "filter_cancelled" (fun () -> Trace.remove_cancelled trace)
   in

@@ -59,6 +59,10 @@ val phase_names : string list
     ["graph_build"], ["happens_before"], ["race_detect"],
     ["classify"]. *)
 
+val streaming_phase_names : string list
+(** The phases of [analyze] under the streaming engine:
+    ["filter_cancelled"], ["streaming_detect"], ["classify"]. *)
+
 val phase_seconds : report -> string -> float
 (** [phase_seconds report name] is the wall time of the named phase
     (0.0 for an unknown name). *)
@@ -68,7 +72,17 @@ val analyze : ?config:config -> ?jobs:int -> Trace.t -> report
     conflicting-pair scan run on a {!Par_pool} of domains.  Except for
     [elapsed_seconds], the report is bit-identical for every [jobs]
     value — determinism is an invariant of the parallel engine, not
-    best-effort (see {!Happens_before.compute} and {!Race.detect}). *)
+    best-effort (see {!Happens_before.compute} and {!Race.detect}).
+
+    When [config.hb.closure] is {!Happens_before.Streaming} the batch
+    pipeline is replaced by one {!Streaming_engine} pass (phases
+    {!streaming_phase_names}; single-pass, so [jobs] is irrelevant and
+    the report is identical for every value): [nodes] counts clock
+    slots, the matrix statistics are 0, races are a subset of the batch
+    engines' (see {!Streaming_engine}), and co-enabled classification
+    degrades to the later categories.  Callers with traces too large to
+    materialise should stream via {!Streaming_engine.detect_file}
+    instead — this entry point still holds the whole trace. *)
 
 val relation : ?config:config -> ?jobs:int -> Trace.t -> Happens_before.t
 (** Just the happens-before relation of the (cancellation-filtered)

@@ -5,13 +5,17 @@ module Lock_id = Ident.Lock_id
 
 type program_order = Android_po | Full_po
 
-type closure_engine = Dense | Worklist
+type closure_engine = Dense | Worklist | Streaming
 
-let closure_engine_name = function Dense -> "dense" | Worklist -> "worklist"
+let closure_engine_name = function
+  | Dense -> "dense"
+  | Worklist -> "worklist"
+  | Streaming -> "streaming"
 
 let closure_engine_of_string = function
   | "dense" -> Some Dense
   | "worklist" -> Some Worklist
+  | "streaming" -> Some Streaming
   | _ -> None
 
 type config =
@@ -434,7 +438,11 @@ let compute_impl ~config ~jobs g =
          false results
      in
      run_fixpoint ~closure:closure_pass ~on_set:(fun _ _ -> ())
-   | Worklist ->
+   | Worklist | Streaming ->
+     (* [Streaming] selects {!Streaming_engine} in {!Detector.analyze};
+        a caller that still asks for the batch relation under that
+        configuration gets the sparse engine, whose fixpoint matrix the
+        streaming clocks over-approximate. *)
      (* The worklist closure only re-propagates what changed — a
         semi-naïve (delta) fixpoint.  Row [i] of [delta] holds the bits
         added to row [i] of the matrix since [i] last broadcast them;

@@ -29,10 +29,14 @@ type program_order =
       (** classic multi-threaded program order across the whole thread,
           regardless of task boundaries (baselines only) *)
 
-(** Which transitive-closure engine brings the matrix to its fixpoint.
-    Both compute the least fixpoint of the same monotone rule system,
-    so the resulting relation is bit-identical; only the amount of
-    re-scanning (and hence the pass count and wall time) differs. *)
+(** Which engine computes the relation.  The two batch engines compute
+    the least fixpoint of the same monotone rule system, so their
+    relation is bit-identical; only the amount of re-scanning (and
+    hence the pass count and wall time) differs.  [Streaming] is not a
+    matrix engine at all: {!Detector.analyze} routes it to
+    {!Streaming_engine}, a bounded-memory single pass whose clock
+    relation over-approximates ⪯ (and whose races are therefore a
+    subset of the batch engines'). *)
 type closure_engine =
   | Dense
       (** block-synchronous full-matrix passes: every pass re-propagates
@@ -41,11 +45,15 @@ type closure_engine =
       (** sparse worklist: tracks dirty rows and a reverse-successor
           index, re-propagating only the predecessors of rows that
           actually changed, drained in reverse trace order *)
+  | Streaming
+      (** epoch-clock single pass, never materialising the trace; a
+          {!compute} call under this configuration falls back to
+          [Worklist] for callers that need the batch relation *)
 
 val closure_engine_name : closure_engine -> string
 
 val closure_engine_of_string : string -> closure_engine option
-(** Recognises ["dense"] and ["worklist"]. *)
+(** Recognises ["dense"], ["worklist"] and ["streaming"]. *)
 
 type config =
   { program_order : program_order

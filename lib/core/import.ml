@@ -3,4 +3,5 @@
 module Ident = Droidracer_trace.Ident
 module Operation = Droidracer_trace.Operation
 module Trace = Droidracer_trace.Trace
+module Trace_io = Droidracer_trace.Trace_io
 module Obs = Droidracer_obs.Obs

@@ -23,4 +23,9 @@ val leq : t -> t -> bool
 
 val cardinal : t -> int
 
+val retain : (int -> bool) -> t -> t
+(** [retain keep t] drops every slot [keep] rejects.  Sound only when
+    the dropped slots can never again be the subject of a {!get} — the
+    streaming engine's retired-slot sweep establishes exactly that. *)
+
 val pp : Format.formatter -> t -> unit

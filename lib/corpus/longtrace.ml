@@ -1,0 +1,133 @@
+open! Import
+module Thread_id = Ident.Thread_id
+module Task_id = Ident.Task_id
+module Lock_id = Ident.Lock_id
+module Location = Ident.Location
+
+type config =
+  { loopers : int
+  ; locations : int
+  ; locks : int
+  ; accesses_per_task : int
+  ; fork_every : int
+  ; lock_every : int
+  ; seed : int
+  }
+
+let default_config =
+  { loopers = 3
+  ; locations = 512
+  ; locks = 4
+  ; accesses_per_task = 4
+  ; fork_every = 97
+  ; lock_every = 13
+  ; seed = 42
+  }
+
+(* A tiny deterministic PRNG (xorshift), so the trace is a pure
+   function of the config — [Random] would tie the corpus to the
+   stdlib's generator across versions. *)
+let next_rand state =
+  let x = !state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  state := x land max_int;
+  !state
+
+let generate ?(config = default_config) ~events emit =
+  let emitted = ref 0 in
+  let rng = ref (config.seed lor 1) in
+  let rand bound = next_rand rng mod bound in
+  let budget_left () = !emitted < events in
+  let push thread op =
+    if budget_left () then begin
+      emit { Trace.thread = Thread_id.make thread; op };
+      incr emitted
+    end
+  in
+  (* Thread 0 is the driver: it posts every task and forks the
+     short-lived workers.  Threads 1..loopers are queue threads. *)
+  push 0 Operation.Thread_init;
+  for l = 1 to config.loopers do
+    push l Operation.Thread_init;
+    push l Operation.Attach_queue;
+    push l Operation.Loop_on_queue
+  done;
+  let next_task = ref 0 in
+  let next_worker = ref (config.loopers + 1) in
+  let unjoined = ref [] in
+  let loc field = Location.make ~cls:"Obj" ~field ~obj:0 in
+  (* Shared locations carry the cross-looper races; private ones keep
+     the race list (which is output, not analysis state) from growing
+     with every access. *)
+  let shared () = loc (Printf.sprintf "s%d" (rand config.locations)) in
+  let private_ thread =
+    loc (Printf.sprintf "p%d_%d" thread (rand config.locations))
+  in
+  let access ?(shared_only = false) thread =
+    let m =
+      if shared_only || rand 4 = 0 then shared () else private_ thread
+    in
+    if rand 3 = 0 then push thread (Operation.Write m)
+    else push thread (Operation.Read m)
+  in
+  let iteration = ref 0 in
+  while budget_left () do
+    incr iteration;
+    let it = !iteration in
+    (* One task per iteration, rotated across the loopers; the queue
+       never holds more than this one pending task, so immediate posts
+       are trivially FIFO-admissible. *)
+    let looper = 1 + (it mod config.loopers) in
+    let p = Task_id.make ~name:"job" ~instance:!next_task in
+    incr next_task;
+    if rand 4 = 0 then push 0 (Operation.Enable p);
+    push 0 (Operation.Post { task = p; target = Thread_id.make looper
+                           ; flavour = Operation.Immediate });
+    push looper (Operation.Begin_task p);
+    let with_lock = config.lock_every > 0 && it mod config.lock_every = 0 in
+    let l = Lock_id.make (Printf.sprintf "lock%d" (rand config.locks)) in
+    if with_lock then push looper (Operation.Acquire l);
+    for _ = 1 to config.accesses_per_task do
+      access looper
+    done;
+    if with_lock then push looper (Operation.Release l);
+    push looper (Operation.End_task p);
+    (* Occasionally fork a worker that races with the tasks, and join
+       the previous one so exited threads stay bounded. *)
+    if config.fork_every > 0 && it mod config.fork_every = 0 then begin
+      let w = !next_worker in
+      incr next_worker;
+      push 0 (Operation.Fork (Thread_id.make w));
+      push w Operation.Thread_init;
+      access ~shared_only:true w;
+      access ~shared_only:true w;
+      push w Operation.Thread_exit;
+      (match !unjoined with
+       | prev :: rest ->
+         push 0 (Operation.Join (Thread_id.make prev));
+         unjoined := rest @ [ w ]
+       | [] -> unjoined := [ w ])
+    end
+  done;
+  !emitted
+
+let write ?config ~events path =
+  let oc = Out_channel.open_text path in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close oc)
+    (fun () ->
+       let buf = Buffer.create 65536 in
+       let n =
+         generate ?config ~events (fun e ->
+           Buffer.add_string buf
+             (Format.asprintf "%a" Droidracer_trace.Trace_io.print_event e);
+           Buffer.add_char buf '\n';
+           if Buffer.length buf > 60000 then begin
+             Out_channel.output_string oc (Buffer.contents buf);
+             Buffer.clear buf
+           end)
+       in
+       Out_channel.output_string oc (Buffer.contents buf);
+       n)

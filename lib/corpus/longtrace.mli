@@ -1,0 +1,44 @@
+open! Import
+
+(** Deterministic generator of arbitrarily long admissible traces.
+
+    The batch corpus ({!Synthetic}) interprets application models, which
+    caps trace length at what fits in memory twice over (the program and
+    its trace).  This generator instead {e emits} events one at a time —
+    through a callback, never materialising anything — so it can produce
+    the multi-million-event inputs the streaming engine and the CI
+    memory gate need, in O(1) memory on the producing side too.
+
+    Shape: a driver thread posts one immediate task per iteration,
+    rotated over a small set of looper threads (queue depth never
+    exceeds one, so dispatch is trivially FIFO-admissible); task bodies
+    read and write a mix of looper-private and shared locations (the
+    shared ones race across loopers); every [fork_every] iterations a
+    short-lived worker thread races on the shared pool and the previous
+    worker is joined.  Everything derives from a builtin xorshift PRNG
+    seeded by the config, so a given config always produces the same
+    trace, on any stdlib version.
+
+    Every emitted prefix passes {!Wellformed} (property-tested). *)
+
+type config =
+  { loopers : int  (** queue threads the driver rotates over *)
+  ; locations : int  (** size of each location pool *)
+  ; locks : int
+  ; accesses_per_task : int
+  ; fork_every : int  (** iterations between worker forks; 0 disables *)
+  ; lock_every : int  (** iterations between locked tasks; 0 disables *)
+  ; seed : int
+  }
+
+val default_config : config
+
+val generate : ?config:config -> events:int -> (Trace.event -> unit) -> int
+(** [generate ~events emit] calls [emit] for each event, stopping after
+    exactly [events] of them (the final task may be truncated
+    mid-flight — admissible prefixes stay admissible).  Returns the
+    number emitted. *)
+
+val write : ?config:config -> events:int -> string -> int
+(** Streams a generated trace to the named file in the
+    {!Trace_io} line format; returns the event count. *)

@@ -28,10 +28,24 @@ let reason_detail = function
 type failure =
   { f_app : string
   ; f_reason : reason
+  ; f_engine : string
   ; f_elapsed : float
   ; f_retries : int
   ; f_backoff : float
   }
+
+(* An attempt failure carries the closure engine the attempt ran (or
+   would have run) under, so the fallback decision survives the trip
+   back from an isolated worker — the row is marshalled, a worker-side
+   counter would not. *)
+type attempt_error =
+  { ae_reason : reason
+  ; ae_engine : string
+  }
+
+let configured_engine config =
+  Happens_before.closure_engine_name
+    config.Detector.hb.Happens_before.closure
 
 type outcome =
   | Completed of Experiments.app_run
@@ -49,7 +63,14 @@ let failure_table fs =
   let table =
     Table.create ~title:"Supervisor: applications that did not complete"
       ~columns:
-        [ "Application"; "Outcome"; "Reason"; "Elapsed"; "Retries"; "Backoff" ]
+        [ "Application"
+        ; "Outcome"
+        ; "Reason"
+        ; "Engine"
+        ; "Elapsed"
+        ; "Retries"
+        ; "Backoff"
+        ]
   in
   List.iter
     (fun f ->
@@ -57,6 +78,7 @@ let failure_table fs =
          [ f.f_app
          ; reason_label f.f_reason
          ; reason_detail f.f_reason
+         ; f.f_engine
          ; Printf.sprintf "%.3fs" f.f_elapsed
          ; string_of_int f.f_retries
          ; Printf.sprintf "%.3fs" f.f_backoff
@@ -87,10 +109,11 @@ let failures_json_string fs =
     (fun i f ->
        if i > 0 then Buffer.add_char buf ',';
        Printf.bprintf buf
-         "{\"app\":\"%s\",\"outcome\":\"%s\",\"reason\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d,\"backoff_seconds\":%.6f}"
+         "{\"app\":\"%s\",\"outcome\":\"%s\",\"reason\":\"%s\",\"engine\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d,\"backoff_seconds\":%.6f}"
          (json_escape f.f_app)
          (reason_label f.f_reason)
          (json_escape (reason_detail f.f_reason))
+         (json_escape f.f_engine)
          f.f_elapsed f.f_retries f.f_backoff)
     fs;
   Buffer.add_string buf "]}\n";
@@ -219,21 +242,37 @@ let hang ~deadline =
     in
     spin ()
 
-(* Over the event budget the analysis degrades instead of refusing:
-   the sparse worklist engine computes the identical relation with far
-   less re-scanning (see Happens_before.closure_engine). *)
+(* Over the event budget the analysis degrades instead of refusing.
+   Moderately over (events <= 10x the cap) the sparse worklist engine
+   computes the identical relation with far less re-scanning; an order
+   of magnitude over, even the worklist matrices do not fit, so the
+   single-pass streaming engine takes over (a sound under-approximation
+   — see Streaming_engine).  Each edge of the chain has its own Obs
+   counter so a sweep's report says not just that fallbacks happened
+   but which ones. *)
 let budgeted_config ~budget ~events config =
-  match budget.max_events with
-  | Some cap
-    when events > cap
-         && config.Detector.hb.Happens_before.closure = Happens_before.Dense
-    ->
-    Obs.add "supervisor.fallbacks";
-    Obs.set_span_arg "closure_fallback" "worklist";
+  let with_closure closure =
     { config with
-      Detector.hb =
-        { config.Detector.hb with Happens_before.closure = Happens_before.Worklist }
+      Detector.hb = { config.Detector.hb with Happens_before.closure }
     }
+  in
+  let fall edge target =
+    Obs.add ("supervisor.fallbacks." ^ edge);
+    Obs.set_span_arg "closure_fallback"
+      (Happens_before.closure_engine_name target);
+    with_closure target
+  in
+  match budget.max_events with
+  | Some cap when events > cap -> begin
+    let far_over = events > 10 * cap in
+    match config.Detector.hb.Happens_before.closure with
+    | Happens_before.Dense when far_over ->
+      fall "dense_streaming" Happens_before.Streaming
+    | Happens_before.Dense -> fall "dense_worklist" Happens_before.Worklist
+    | Happens_before.Worklist when far_over ->
+      fall "worklist_streaming" Happens_before.Streaming
+    | Happens_before.Worklist | Happens_before.Streaming -> config
+  end
   | _ -> config
 
 let validate_observed name trace =
@@ -245,7 +284,7 @@ let validate_observed name trace =
          (Printf.sprintf "%s: observed trace rejected: %s" name
             (Wellformed.error_message e)))
 
-let attempt_app ~config ~budget ~attempt spec =
+let attempt_app ~engine ~config ~budget ~attempt spec =
   let name = spec.Synthetic.s_name in
   Obs.with_span "supervisor.app"
     ~args:[ ("app", name); ("attempt", string_of_int attempt) ]
@@ -289,6 +328,7 @@ let attempt_app ~config ~budget ~attempt spec =
   validate_observed name observed;
   checkpoint ~deadline;
   let config = budgeted_config ~budget ~events:(Trace.length observed) config in
+  engine := configured_engine config;
   if injected Crash_fault ~attempt name then
     failwith "injected task exception";
   let report =
@@ -304,16 +344,18 @@ let attempt_app ~config ~budget ~attempt spec =
    they must escape the classifier.  The cooperative wrapper in
    {!run_app} catches them one level up instead. *)
 let attempt_result ~config ~budget ~attempt spec =
-  match attempt_app ~config ~budget ~attempt spec with
+  let engine = ref (configured_engine config) in
+  let err reason = Error { ae_reason = reason; ae_engine = !engine } in
+  match attempt_app ~engine ~config ~budget ~attempt spec with
   | run -> Ok run
   | exception Rejected_exn msg ->
     Obs.add "ingest.rejected";
-    Error (Rejected msg)
+    err (Rejected msg)
   | exception Timed_out_exn t ->
     Obs.add "supervisor.timeouts";
-    Error (Timed_out t)
+    err (Timed_out t)
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-  | exception exn -> Error (Crashed (Printexc.to_string exn))
+  | exception exn -> err (Crashed (Printexc.to_string exn))
 
 let retryable = function
   | Rejected _ ->
@@ -329,13 +371,22 @@ let run_app ?(config = Detector.default_config) ?(budget = no_budget)
   let once attempt =
     match attempt_result ~config ~budget ~attempt spec with
     | r -> r
-    | exception Out_of_memory -> Error (Crashed "out of memory")
-    | exception Stack_overflow -> Error (Crashed "stack overflow")
+    | exception Out_of_memory ->
+      Error
+        { ae_reason = Crashed "out of memory"
+        ; ae_engine = configured_engine config
+        }
+    | exception Stack_overflow ->
+      Error
+        { ae_reason = Crashed "stack overflow"
+        ; ae_engine = configured_engine config
+        }
   in
-  let fail reason retries backoff =
+  let fail ae retries backoff =
     Failed
       { f_app = name
-      ; f_reason = reason
+      ; f_reason = ae.ae_reason
+      ; f_engine = ae.ae_engine
       ; f_elapsed = Unix.gettimeofday () -. started
       ; f_retries = retries
       ; f_backoff = backoff
@@ -344,14 +395,15 @@ let run_app ?(config = Detector.default_config) ?(budget = no_budget)
   let rec go attempt backoff =
     match once attempt with
     | Ok run -> Completed run
-    | Error reason ->
-      if retryable reason && attempt < retry.Proc_pool.max_retries then begin
+    | Error ae ->
+      if retryable ae.ae_reason && attempt < retry.Proc_pool.max_retries
+      then begin
         Obs.add "supervisor.retries";
         let delay = Proc_pool.backoff_delay retry ~attempt:(attempt + 1) in
         if delay > 0.0 then Unix.sleepf delay;
         go (attempt + 1) (backoff +. delay)
       end
-      else fail reason attempt backoff
+      else fail ae attempt backoff
   in
   go 0 0.0
 
@@ -366,21 +418,25 @@ let reason_of_death death =
   | Proc_pool.Hard_deadline t -> Timed_out t
   | d -> Crashed (Proc_pool.death_message d)
 
-let outcome_of_row spec (row : _ Proc_pool.row) =
+let outcome_of_row ~engine spec (row : _ Proc_pool.row) =
   match row.Proc_pool.r_result with
   | Proc_pool.Value (Ok run) -> Completed run
-  | Proc_pool.Value (Error reason) ->
+  | Proc_pool.Value (Error ae) ->
     Failed
       { f_app = spec.Synthetic.s_name
-      ; f_reason = reason
+      ; f_reason = ae.ae_reason
+      ; f_engine = ae.ae_engine
       ; f_elapsed = row.Proc_pool.r_elapsed
       ; f_retries = row.Proc_pool.r_retries
       ; f_backoff = row.Proc_pool.r_backoff
       }
   | Proc_pool.Died death ->
+    (* A dead worker reports nothing, so the best attribution is the
+       engine the sweep was configured with. *)
     Failed
       { f_app = spec.Synthetic.s_name
       ; f_reason = reason_of_death death
+      ; f_engine = engine
       ; f_elapsed = row.Proc_pool.r_elapsed
       ; f_retries = row.Proc_pool.r_retries
       ; f_backoff = row.Proc_pool.r_backoff
@@ -443,6 +499,7 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
           to_run)
    | Isolated { max_mem_mib } ->
      let specs_arr = Array.of_list to_run in
+     let engine = configured_engine config in
      let limits =
        { Proc_pool.deadline_seconds = budget.timeout_seconds; max_mem_mib }
      in
@@ -450,16 +507,16 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
        Proc_pool.map ~jobs ~limits ~retry
          ~should_retry:(function
            | Ok _ -> false
-           | Error reason -> retryable reason)
+           | Error ae -> retryable ae.ae_reason)
          ~on_row:(fun idx row ->
-           record specs_arr.(idx) (outcome_of_row specs_arr.(idx) row))
+           record specs_arr.(idx) (outcome_of_row ~engine specs_arr.(idx) row))
          (fun ~attempt spec -> attempt_result ~config ~budget ~attempt spec)
          to_run
      in
      List.iteri
        (fun idx row ->
           Hashtbl.replace fresh specs_arr.(idx).Synthetic.s_name
-            (outcome_of_row specs_arr.(idx) row))
+            (outcome_of_row ~engine specs_arr.(idx) row))
        rows);
   List.map
     (fun spec ->
@@ -475,10 +532,12 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
 let analyze ?(config = Detector.default_config) ?(jobs = 1)
     ?(budget = no_budget) ~name trace =
   let started = Unix.gettimeofday () in
+  let engine = ref (configured_engine config) in
   let fail reason =
     Error
       { f_app = name
       ; f_reason = reason
+      ; f_engine = !engine
       ; f_elapsed = Unix.gettimeofday () -. started
       ; f_retries = 0
       ; f_backoff = 0.0
@@ -495,6 +554,7 @@ let analyze ?(config = Detector.default_config) ?(jobs = 1)
     validate_observed name trace;
     checkpoint ~deadline;
     let config = budgeted_config ~budget ~events:(Trace.length trace) config in
+    engine := configured_engine config;
     let report = Detector.analyze ~config ~jobs trace in
     checkpoint ~deadline;
     report

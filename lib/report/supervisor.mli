@@ -16,10 +16,14 @@ open! Import
       check is at phase granularity, not preemptive) — counter
       [supervisor.timeouts];
     - an {e event-count budget} with graceful degradation: over budget
-      the detector is switched from the dense closure engine to the
-      sparse worklist engine instead of refusing the trace (counter
-      [supervisor.fallbacks]; the computed relation is identical, only
-      the re-scanning cost differs);
+      the detector walks down the engine ladder instead of refusing the
+      trace.  Up to 10x the cap, dense falls back to the sparse worklist
+      engine (identical relation, less re-scanning); beyond 10x, either
+      batch engine falls back to the bounded-memory streaming engine (a
+      sound under-approximation — see {!Streaming_engine}).  Each edge
+      has its own counter: [supervisor.fallbacks.dense_worklist],
+      [supervisor.fallbacks.dense_streaming],
+      [supervisor.fallbacks.worklist_streaming];
     - {e exception capture}: any exception becomes a {!failure} row
       carrying the application, reason and elapsed time;
     - {e retries with deterministic backoff}: crashes and timeouts are
@@ -46,8 +50,10 @@ type budget =
   { timeout_seconds : float option
         (** wall-clock budget per attempt; checked between phases *)
   ; max_events : int option
-        (** observed-trace length above which the analysis falls back
-            to the worklist closure engine *)
+        (** observed-trace length above which the analysis degrades down
+            the engine ladder: to the worklist closure engine when
+            moderately over, and to the streaming engine when more than
+            10x over *)
   }
 
 val no_budget : budget
@@ -68,6 +74,11 @@ val reason_detail : reason -> string
 type failure =
   { f_app : string
   ; f_reason : reason
+  ; f_engine : string
+        (** the closure engine the failing attempt ran (or would have
+            run) under, budget fallbacks applied —
+            {!Happens_before.closure_engine_name}.  When a worker dies
+            before reporting, the sweep's configured engine. *)
   ; f_elapsed : float  (** wall-clock across all attempts *)
   ; f_retries : int  (** attempts beyond the first *)
   ; f_backoff : float  (** total seconds spent in retry backoff delays *)
@@ -85,7 +96,7 @@ val failure_table : failure list -> Table.t
 
 val failures_json_string : failure list -> string
 (** Schema [droidracer-failures/1]: one object per failed application
-    with [app], [outcome] ({!reason_label}), [reason],
+    with [app], [outcome] ({!reason_label}), [reason], [engine],
     [elapsed_seconds], [retries] and [backoff_seconds] — the artefact
     CI archives. *)
 

@@ -4,6 +4,7 @@ module Lock_id = Ident.Lock_id
 module Location = Ident.Location
 
 let print_event ppf (e : Trace.event) =
+  (* One line of the on-disk format; [parse_event] inverts it. *)
   Format.fprintf ppf "%a %a" Thread_id.pp e.thread Operation.pp e.op
 
 let print ppf trace =

@@ -26,6 +26,11 @@
     traces stream through in constant memory (plus, for the readers
     that build a {!Trace.t}, the events themselves). *)
 
+val print_event : Format.formatter -> Trace.event -> unit
+(** One event in the line format (no trailing newline);
+    {!parse_event} inverts it.  For writers that emit events as they
+    are generated instead of materialising a {!Trace.t}. *)
+
 val print : Format.formatter -> Trace.t -> unit
 
 val to_string : Trace.t -> string

@@ -222,7 +222,9 @@ let test_wallclock_timeout () =
 
 let test_event_budget_fallback () =
   with_obs @@ fun () ->
-  let budget = { Supervisor.timeout_seconds = None; max_events = Some 100 } in
+  (* Over the cap but within 10x of it: the worklist step of the
+     ladder, not the streaming one. *)
+  let budget = { Supervisor.timeout_seconds = None; max_events = Some 1000 } in
   let spec = List.hd specs2 in
   (match Supervisor.run_app ~budget spec with
    | Supervisor.Failed f ->
@@ -236,7 +238,31 @@ let test_event_budget_fallback () =
      check_int "same races under fallback"
        (List.length reference.Experiments.ar_report.Detector.all_races)
        (List.length run.Experiments.ar_report.Detector.all_races));
-  check_int "supervisor.fallbacks" 1 (counter "supervisor.fallbacks")
+  check_int "supervisor.fallbacks.dense_worklist" 1
+    (counter "supervisor.fallbacks.dense_worklist");
+  check_int "no streaming fallback" 0
+    (counter "supervisor.fallbacks.dense_streaming")
+
+let test_event_budget_streaming_fallback () =
+  with_obs @@ fun () ->
+  (* A cap more than 10x under the trace length skips worklist and lands
+     on the streaming engine. *)
+  let budget = { Supervisor.timeout_seconds = None; max_events = Some 2 } in
+  let spec = List.hd specs2 in
+  (match Supervisor.run_app ~budget spec with
+   | Supervisor.Failed f ->
+     Alcotest.failf "over-budget run should degrade, not fail: %s"
+       (Supervisor.reason_detail f.Supervisor.f_reason)
+   | Supervisor.Completed run ->
+     (* Streaming under-approximates batch: never more races. *)
+     let reference = Experiments.run_spec spec in
+     check_bool "streaming finds a subset" true
+       (List.length run.Experiments.ar_report.Detector.all_races
+        <= List.length reference.Experiments.ar_report.Detector.all_races));
+  check_int "supervisor.fallbacks.dense_streaming" 1
+    (counter "supervisor.fallbacks.dense_streaming");
+  check_int "no worklist fallback" 0
+    (counter "supervisor.fallbacks.dense_worklist")
 
 let test_ingest_counter () =
   with_obs @@ fun () ->
@@ -279,12 +305,14 @@ let test_analyze_rejects_inadmissible () =
 let sample_failures =
   [ { Supervisor.f_app = "App \"quoted\""
     ; f_reason = Supervisor.Rejected "line 3: [fifo-violation] out of order"
+    ; f_engine = "dense"
     ; f_elapsed = 0.25
     ; f_retries = 0
     ; f_backoff = 0.0
     }
   ; { Supervisor.f_app = "Other"
     ; f_reason = Supervisor.Timed_out 1.5
+    ; f_engine = "streaming"
     ; f_elapsed = 3.0
     ; f_retries = 1
     ; f_backoff = 0.5
@@ -307,6 +335,12 @@ let test_failures_json () =
        check_bool "second outcome" true
          (Json_parse.member "outcome" second
           = Some (Json_parse.String "timeout"));
+       check_bool "first engine" true
+         (Json_parse.member "engine" first
+          = Some (Json_parse.String "dense"));
+       check_bool "second engine" true
+         (Json_parse.member "engine" second
+          = Some (Json_parse.String "streaming"));
        check_bool "second retries" true
          (Json_parse.member "retries" second
           = Some (Json_parse.Number 1.0));
@@ -346,6 +380,8 @@ let () =
       , [ Alcotest.test_case "wall-clock timeout" `Slow test_wallclock_timeout
         ; Alcotest.test_case "event budget falls back to worklist" `Slow
             test_event_budget_fallback
+        ; Alcotest.test_case "event budget falls back to streaming" `Slow
+            test_event_budget_streaming_fallback
         ; Alcotest.test_case "obs counters" `Slow test_ingest_counter
         ] )
     ; ( "analyze"

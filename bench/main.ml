@@ -55,12 +55,15 @@ type options =
   ; streaming_json : string option
   ; trace_out : string option
   ; metrics_out : string option
+  ; series_out : string option
+  ; baseline : string option
   }
 
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
-     [--streaming-json PATH] [--trace-out PATH] [--metrics-out PATH]";
+     [--streaming-json PATH] [--trace-out PATH] [--metrics-out PATH] \
+     [--series-out PATH] [--baseline PATH]";
   exit 2
 
 let parse_options () =
@@ -83,6 +86,10 @@ let parse_options () =
         go (i + 2) { acc with trace_out = Some Sys.argv.(i + 1) }
       | "--metrics-out" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with metrics_out = Some Sys.argv.(i + 1) }
+      | "--series-out" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with series_out = Some Sys.argv.(i + 1) }
+      | "--baseline" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with baseline = Some Sys.argv.(i + 1) }
       | _ -> usage ()
   in
   go 1
@@ -93,6 +100,8 @@ let parse_options () =
     ; streaming_json = None
     ; trace_out = None
     ; metrics_out = None
+    ; series_out = None
+    ; baseline = None
     }
 
 (* {1 Wall-clock stage timings}
@@ -176,6 +185,110 @@ let write_json path opts (runs : Experiments.app_run list) =
   out "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
+
+(* {1 Baseline comparison}
+
+   Compares this run's stage wall times against a committed
+   [BENCH_*.json] (schema droidracer-bench/2) and fails — exit 1 — when
+   the total over the stages both runs share regresses by more than
+   25%.  A baseline with no stages (the committed placeholder that
+   starts a trajectory) passes trivially; an unreadable or malformed
+   baseline is a usage error (exit 2), not a regression. *)
+
+let regression_threshold = 1.25
+
+(* Parsed before the bench runs, so a bad path fails in milliseconds
+   rather than after the full suite. *)
+let load_baseline path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+         Printf.eprintf "bench: --baseline %s: %s\n" path msg;
+         exit 2)
+      fmt
+  in
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> fail "%s" msg
+  in
+  let doc =
+    match Json_parse.parse text with
+    | Ok doc -> doc
+    | Error msg -> fail "malformed JSON: %s" msg
+  in
+  match Option.bind (Json_parse.member "stages" doc) Json_parse.to_list with
+  | None -> fail "no \"stages\" array"
+  | Some entries ->
+    List.filter_map
+      (fun entry ->
+         match
+           ( Option.bind (Json_parse.member "name" entry)
+               Json_parse.to_string
+           , Option.bind (Json_parse.member "wall_seconds" entry)
+               Json_parse.to_number )
+         with
+         | Some name, Some dt -> Some (name, dt)
+         | _ -> fail "stage entry without name/wall_seconds")
+      entries
+
+let compare_baseline (path, baseline_stages) =
+  section "Baseline comparison";
+  if baseline_stages = [] then
+    Printf.printf
+      "baseline %s has no stages yet: recording the first trajectory point, \
+       nothing to compare.\n"
+      path
+  else begin
+    let current = List.rev !stages in
+    let shared =
+      List.filter_map
+        (fun (name, base_dt) ->
+           Option.map
+             (fun (_, cur_dt) -> (name, base_dt, cur_dt))
+             (List.find_opt (fun (n, _) -> n = name) current))
+        baseline_stages
+    in
+    if shared = [] then
+      Printf.printf
+        "baseline %s shares no stage names with this run: nothing to \
+         compare.\n"
+        path
+    else begin
+      (* Cells carry their units ("0.123 s", "1.04x") so bench/scrub.sh
+         strips them and the determinism diff survives real baselines. *)
+      let table =
+        Table.create ~title:"Stage wall times vs baseline"
+          ~columns:[ "stage"; "baseline"; "current"; "ratio" ]
+      in
+      List.iter
+        (fun (name, base_dt, cur_dt) ->
+           Table.add_row table
+             [ name
+             ; Printf.sprintf "%.3f s" base_dt
+             ; Printf.sprintf "%.3f s" cur_dt
+             ; Printf.sprintf "%.2fx" (cur_dt /. Float.max 1e-9 base_dt)
+             ])
+        shared;
+      Table.print table;
+      let total (f : string * float * float -> float) =
+        List.fold_left (fun acc x -> acc +. f x) 0.0 shared
+      in
+      let base_total = total (fun (_, b, _) -> b) in
+      let cur_total = total (fun (_, _, c) -> c) in
+      let ratio = cur_total /. Float.max 1e-9 base_total in
+      Printf.printf
+        "\ntotal over %d shared stage(s): baseline %.3fs, current %.3fs \
+         (%.2fx, threshold %.2fx)\n"
+        (List.length shared) base_total cur_total ratio regression_threshold;
+      if ratio > regression_threshold then begin
+        Printf.eprintf
+          "bench: wall-clock regression: %.2fx > %.2fx against %s\n"
+          ratio regression_threshold path;
+        exit 1
+      end
+      else Printf.printf "baseline check passed.\n"
+    end
+  end
 
 (* {1 Closure-engine comparison}
 
@@ -444,7 +557,7 @@ let streaming_stage ~quick ~streaming_json =
          Out_channel.output_string oc
            (Streaming_engine.stats_json_string ~label:"longtrace"
               ~elapsed_seconds:detect_dt
-              ~peak_rss_kb:(Streaming_engine.peak_rss_kb ())
+              ~peak_rss_kb:(Obs.peak_rss_kb ())
               stats);
          Out_channel.close oc;
          Printf.printf "wrote %s\n" out)
@@ -521,9 +634,15 @@ let microbenchmarks (runs : Experiments.app_run list) =
 
 let () =
   let opts = parse_options () in
-  if opts.trace_out <> None || opts.metrics_out <> None then begin
+  let baseline =
+    Option.map (fun path -> (path, load_baseline path)) opts.baseline
+  in
+  if opts.trace_out <> None || opts.metrics_out <> None
+     || opts.series_out <> None
+  then begin
     Obs.enable ();
-    Obs.reset ()
+    Obs.reset ();
+    Obs.sample_resources ()
   end;
   let quick = opts.quick in
   let specs = if quick then Catalog.open_source else Catalog.all in
@@ -621,4 +740,10 @@ let () =
     (fun path ->
        Obs.write_metrics_json path;
        Printf.printf "wrote %s\n" path)
-    opts.metrics_out
+    opts.metrics_out;
+  Option.iter
+    (fun path ->
+       Obs.write_series_json path;
+       Printf.printf "wrote %s\n" path)
+    opts.series_out;
+  Option.iter compare_baseline baseline

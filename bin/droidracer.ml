@@ -34,6 +34,7 @@ module Experiments = Droidracer_report.Experiments
 module Supervisor = Droidracer_report.Supervisor
 module Proc_pool = Droidracer_report.Proc_pool
 module Journal = Droidracer_report.Journal
+module Progress = Droidracer_report.Progress
 module Table = Droidracer_report.Table
 module Obs = Droidracer_obs.Obs
 open Cmdliner
@@ -194,13 +195,16 @@ type telemetry =
   { trace_out : string option
   ; metrics : bool
   ; metrics_out : string option
+  ; series_out : string option
+  ; sample_period_ms : float
   }
 
 let telemetry_term =
   let trace_out =
     let doc =
-      "Write a Chrome trace_event JSON of the run's spans (one track \
-       per analysis domain) to $(docv); load it in chrome://tracing or \
+      "Write a Chrome trace_event JSON of the run's spans (one process \
+       lane per worker, one track per analysis domain, counter tracks \
+       for resource series) to $(docv); load it in chrome://tracing or \
        https://ui.perfetto.dev."
     in
     Arg.(value & opt (some string) None
@@ -214,23 +218,46 @@ let telemetry_term =
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
   let metrics_out =
-    let doc = "Write the run's metrics (counters, gauges, histograms, \
-               per-domain statistics) as JSON to $(docv)." in
+    let doc = "Write the run's metrics (counters, gauges, histograms \
+               with p50/p90/p99, per-domain statistics, merged across \
+               worker processes) as JSON to $(docv)." in
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
+  let series_out =
+    let doc =
+      "Write the run's resource time-series (RSS, GC major-heap words, \
+       streaming live-slot watermarks; schema droidracer-series/1) as \
+       JSON to $(docv)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE" ~doc)
+  in
+  let sample_period_ms =
+    let doc =
+      "Minimum milliseconds between resource samples (RSS, GC heap) \
+       recorded into the time-series store."
+    in
+    Arg.(value & opt float 50.0
+         & info [ "sample-period-ms" ] ~docv:"MS" ~doc)
+  in
   Term.(
-    const (fun trace_out metrics metrics_out ->
-      { trace_out; metrics; metrics_out })
-    $ trace_out $ metrics $ metrics_out)
+    const (fun trace_out metrics metrics_out series_out sample_period_ms ->
+      { trace_out; metrics; metrics_out; series_out; sample_period_ms })
+    $ trace_out $ metrics $ metrics_out $ series_out $ sample_period_ms)
 
 let with_telemetry t f =
   let active =
     t.trace_out <> None || t.metrics || t.metrics_out <> None
+    || t.series_out <> None
   in
   if active then begin
     Obs.enable ();
-    Obs.reset ()
+    Obs.reset ();
+    Obs.set_sample_period (t.sample_period_ms /. 1e3);
+    (* Anchor every series at t=0 so even a short run exports one
+       sample per series. *)
+    Obs.sample_resources ()
   end;
   let v = f () in
   if active then begin
@@ -244,6 +271,11 @@ let with_telemetry t f =
          Obs.write_metrics_json path;
          Printf.eprintf "wrote metrics JSON to %s\n%!" path)
       t.metrics_out;
+    Option.iter
+      (fun path ->
+         Obs.write_series_json path;
+         Printf.eprintf "wrote series JSON to %s\n%!" path)
+      t.series_out;
     if t.metrics then begin
       print_newline ();
       print_string (Obs.summary_string ())
@@ -386,7 +418,7 @@ let analyze_cmd =
              Out_channel.output_string oc
                (Streaming_engine.stats_json_string ~label:file
                   ~elapsed_seconds:elapsed
-                  ~peak_rss_kb:(Streaming_engine.peak_rss_kb ())
+                  ~peak_rss_kb:(Obs.peak_rss_kb ())
                   stats));
            Printf.eprintf "wrote streaming stats to %s\n%!" path)
         streaming_json
@@ -809,9 +841,21 @@ let corpus_cmd =
                 seconds.  Jitter-free, so failure rows are \
                 reproducible.")
   in
+  let progress_out =
+    Arg.(value & opt (some string) None
+         & info [ "progress-out" ] ~docv:"FILE"
+             ~doc:
+               "Append live sweep progress as JSONL (schema \
+                droidracer-progress/1: a header record, one record per \
+                finished application with done/total, events/sec, ETA \
+                and per-engine fallback counts, and a final summary \
+                record) to $(docv) — suitable for tailing a long \
+                sweep.  The per-app heartbeat line is always printed \
+                to stderr.")
+  in
   let run verify only open_source jobs closure budget inject_faults
       fault_classes failures_json isolate max_mem journal_path resume
-      max_retries backoff telemetry =
+      max_retries backoff progress_out telemetry =
     with_telemetry telemetry @@ fun () ->
     if max_mem <> None && not isolate then
       or_die (Error "--max-mem requires --isolate");
@@ -852,19 +896,31 @@ let corpus_cmd =
       else Supervisor.Cooperative
     in
     let retry = { Proc_pool.max_retries; backoff_base = backoff } in
+    let progress_chan = Option.map open_out progress_out in
+    let progress =
+      Progress.create ?out:progress_chan
+        ~heartbeat:(fun line -> Printf.eprintf "%s\n%!" line)
+        ~mode:(if isolate then "isolated" else "cooperative")
+        ~jobs ~total:(List.length specs) ()
+    in
     let sweep () =
       Supervisor.run_catalog ~jobs ~specs ~config:(detector_config ~closure)
-        ~budget ~retry ~mode ?journal ()
+        ~budget ~retry ~mode ?journal ~progress ()
     in
     let outcomes =
       Fun.protect
-        ~finally:(fun () -> Option.iter Journal.close journal)
+        ~finally:(fun () ->
+          Option.iter Journal.close journal;
+          Option.iter close_out progress_chan)
         (fun () ->
            match inject_faults with
            | Some seed ->
              Supervisor.with_faults ~classes:fault_classes ~seed sweep
            | None -> sweep ())
     in
+    Option.iter
+      (fun path -> Printf.eprintf "wrote progress JSONL to %s\n%!" path)
+      progress_out;
     let runs = Supervisor.completed outcomes in
     let failed = Supervisor.failures outcomes in
     if runs <> [] then begin
@@ -895,7 +951,8 @@ let corpus_cmd =
     Term.(
       const run $ verify $ only $ open_source $ jobs_arg $ hb_engine_arg
       $ budget_term $ inject_faults $ fault_classes $ failures_json $ isolate
-      $ max_mem $ journal $ resume $ max_retries $ backoff $ telemetry_term)
+      $ max_mem $ journal $ resume $ max_retries $ backoff $ progress_out
+      $ telemetry_term)
 
 let synth_cmd =
   let out =

@@ -110,6 +110,9 @@ let parallel_map ~jobs f xs =
     let all_done = Condition.create () in
     let completed = ref 0 in
     let run_one i =
+      (* Piggyback the rate-limited resource sampler on task claims, so
+         long cooperative sections grow RSS/heap series for free. *)
+      Obs.maybe_sample ();
       (match f arr.(i) with
        | v -> results.(i) <- Some v
        | exception e ->

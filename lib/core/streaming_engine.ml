@@ -226,7 +226,14 @@ let sweep t =
     Obs.set_gauge "streaming.live_slots" (float_of_int t.live_slots);
     Obs.set_gauge "streaming.retired_slots"
       (float_of_int (t.next_slot - t.live_slots));
-    Obs.set_gauge "streaming.resident_clock_entries" (float_of_int !resident)
+    Obs.set_gauge "streaming.resident_clock_entries" (float_of_int !resident);
+    (* The memory frontier over time: every sweep appends a live-slot
+       watermark sample, and the rate-limited resource sampler rides
+       along so RSS and heap series line up with it. *)
+    Obs.record_series "streaming.live_slots" (float_of_int t.live_slots);
+    Obs.record_series "streaming.resident_clock_entries"
+      (float_of_int !resident);
+    Obs.maybe_sample ()
   end
 
 let loc_state t location =
@@ -537,24 +544,3 @@ let stats_json_string ?(label = "streaming") ~elapsed_seconds ~peak_rss_kb
   Buffer.add_string b (Printf.sprintf "  \"peak_rss_kb\": %d\n" peak_rss_kb);
   Buffer.add_string b "}\n";
   Buffer.contents b
-
-(* Linux: VmHWM from /proc/self/status; 0 where unavailable. *)
-let peak_rss_kb () =
-  match In_channel.open_text "/proc/self/status" with
-  | exception Sys_error _ -> 0
-  | ic ->
-    let rec scan () =
-      match In_channel.input_line ic with
-      | None -> 0
-      | Some line ->
-        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
-          let rest = String.sub line 6 (String.length line - 6) in
-          let digits =
-            String.to_seq rest
-            |> Seq.filter (fun ch -> ch >= '0' && ch <= '9')
-            |> String.of_seq
-          in
-          (match int_of_string_opt digits with Some n -> n | None -> 0)
-        else scan ()
-    in
-    Fun.protect ~finally:(fun () -> In_channel.close ic) scan

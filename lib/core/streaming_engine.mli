@@ -115,8 +115,10 @@ val stats_json_string :
   ?label:string -> elapsed_seconds:float -> peak_rss_kb:int -> stats -> string
 (** Schema [droidracer-streaming/1]: throughput (events, elapsed,
     events/sec), the race count, and the memory profile (peak live
-    slots, retired slots, peak resident clock entries, peak RSS). *)
+    slots, retired slots, peak resident clock entries, peak RSS —
+    callers read the latter from {!Obs.peak_rss_kb}).
 
-val peak_rss_kb : unit -> int
-(** The process high-water RSS in KiB ([VmHWM] of [/proc/self/status]);
-    0 where the proc filesystem is unavailable. *)
+    When telemetry is enabled, every GC sweep also appends
+    [streaming.live_slots] and [streaming.resident_clock_entries]
+    samples to the {!Obs} time-series store, so the engine's memory
+    frontier is observable over time, not just as a final gauge. *)

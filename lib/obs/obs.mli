@@ -1,15 +1,25 @@
 (** Structured telemetry for the analysis pipeline: monotonic-clock
-    spans with parent/child nesting, named counters, gauges and
-    histograms, and three exporters (human-readable summary tree, JSON
-    metrics dump, Chrome [trace_event] JSON loadable in
+    spans with parent/child nesting, named counters, gauges, histograms
+    with log-bucketed quantiles, timestamped resource series, and four
+    exporters (human-readable summary tree, JSON metrics dump, JSON
+    series dump, Chrome [trace_event] JSON loadable in
     [chrome://tracing] or Perfetto).
 
-    The library is dependency-light (the only external code is
-    bechamel's [clock_gettime] stub) and race-free under {!Par_pool}:
-    every domain appends to its own buffer, discovered through
-    domain-local storage and registered in a global list, and the
-    buffers are merged only when an exporter runs — which the pipeline
-    does after its parallel sections have completed.
+    The library is dependency-light (bechamel's [clock_gettime] stub
+    plus [unix] for pids and [/proc] reads) and race-free under
+    {!Par_pool}: every domain appends to its own buffer, discovered
+    through domain-local storage and registered in a global list, and
+    the buffers are merged only when an exporter runs — which the
+    pipeline does after its parallel sections have completed.
+
+    Telemetry also spans {e process} boundaries: an isolated worker
+    calls {!on_fork} right after the fork, records as usual, and ships
+    its whole state back with {!export_state} (or a crash-safe
+    {!write_state_file} sidecar).  The parent {!absorb_state}s those
+    blobs and {!snapshot} merges them with the local buffers into one
+    pid-qualified view.  [fork] shares [CLOCK_MONOTONIC] and the trace
+    epoch, so child timestamps land on the parent's timeline without
+    translation.
 
     Telemetry is {e off} by default and every instrumentation point is
     gated on a single atomic load, so the hot paths pay nothing when it
@@ -29,10 +39,10 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Drop all recorded spans and metrics (of every domain) and restart
-    the trace clock.  Call between runs that must not see each other's
-    telemetry.  Only sound while no domain is inside an instrumented
-    parallel section. *)
+(** Drop all recorded spans and metrics (of every domain), forget any
+    absorbed worker states, and restart the trace clock.  Call between
+    runs that must not see each other's telemetry.  Only sound while no
+    domain is inside an instrumented parallel section. *)
 
 val now_ns : unit -> int64
 (** The raw monotonic clock, for callers that time something across an
@@ -58,16 +68,97 @@ val add : ?n:int -> string -> unit
 
 val set_gauge : string -> float -> unit
 (** Set a named gauge; the export keeps the most recent value across
-    all domains (by monotonic timestamp). *)
+    all domains and processes (by monotonic timestamp). *)
 
 val observe : string -> float -> unit
-(** Record a sample into a named histogram (count/sum/min/max). *)
+(** Record a sample into a named histogram
+    (count/sum/min/max/p50/p90/p99).  Quantiles use sparse log₂
+    buckets, 8 per octave, so the estimate is within ~9% of the true
+    sample; non-positive samples are reported at the histogram
+    minimum. *)
+
+val record_series : string -> float -> unit
+(** Append a timestamped sample to a named time-series (e.g. a memory
+    watermark).  Series are cheap to record and merged pid-qualified at
+    export. *)
+
+(** {1 The resource sampler} *)
+
+val sample_resources : unit -> unit
+(** Record one sample of [proc.rss_kb] (current resident set) and
+    [gc.major_heap_words] into the series store, unconditionally. *)
+
+val maybe_sample : unit -> unit
+(** Rate-limited {!sample_resources}: samples only if at least the
+    configured period has elapsed since the last sample (of any
+    domain).  Cheap enough to call from event loops and per-task
+    hooks. *)
+
+val set_sample_period : float -> unit
+(** Minimum seconds between {!maybe_sample} samples (default 0.05,
+    clamped to ≥ 1 ms). *)
+
+(** {1 Process identity and memory} *)
+
+val set_process_label : string -> unit
+(** Name this process's lane in the exporters (default
+    ["droidracer"]). *)
+
+val peak_rss_kb : unit -> int
+(** Lifetime peak resident set size of this process ([VmHWM] from
+    [/proc/self/status]), in KiB; [0] when unavailable. *)
+
+val current_rss_kb : unit -> int
+(** Current resident set size ([VmRSS]), in KiB; [0] when
+    unavailable. *)
+
+val on_fork : unit -> unit
+(** Call in the child right after [fork]: refreshes the cached pid and
+    drops every buffer and absorbed state inherited from the parent so
+    the child reports only its own work.  The trace epoch is kept —
+    the child's spans share the parent's timeline. *)
+
+(** {1 Cross-process state} *)
+
+val export_state : unit -> string
+(** Serialise this process's entire telemetry state (spans, counters,
+    gauges, histograms with buckets, series, peak RSS) into an opaque
+    blob for {!absorb_state}.  Workers call this right before a
+    graceful exit and ship the blob over their result pipe. *)
+
+val absorb_state : string -> int option
+(** Merge a blob produced by {!export_state} (in any process) into this
+    process's view; subsequent {!snapshot}s include it.  Returns the
+    reporting worker's pid, or [None] if the blob is malformed
+    (wrong magic, truncated, unreadable). *)
+
+val write_state_file : string -> unit
+(** Atomically (write-to-temp then rename) persist {!export_state} to
+    a sidecar file.  Workers refresh their sidecar after every task so
+    a SIGKILL loses at most the task in flight. *)
+
+val absorb_state_file : string -> int option
+(** {!absorb_state} on a sidecar file's contents; [None] if the file
+    is unreadable or malformed (e.g. a worker died mid-write — the
+    atomic rename makes that window empty in practice). *)
+
+(** {1 Lightweight counter reads} *)
+
+val counter_value : string -> int
+(** Current merged total of one counter (local buffers plus absorbed
+    worker states) without building a full snapshot. *)
+
+val counters_with_prefix : string -> (string * int) list
+(** All merged counters whose name starts with the prefix, sorted by
+    name — e.g. ["supervisor.fallbacks."] for the progress
+    heartbeat. *)
 
 (** {1 Snapshots} *)
 
 type span =
   { sp_name : string
   ; sp_path : string list  (** outermost ancestor first, own name last *)
+  ; sp_pid : int  (** the process that executed it *)
   ; sp_domain : int  (** the domain that executed it *)
   ; sp_start_ns : int64  (** relative to the last {!reset} *)
   ; sp_dur_ns : int64
@@ -79,44 +170,70 @@ type histogram =
   ; h_sum : float
   ; h_min : float
   ; h_max : float
+  ; h_p50 : float  (** log-bucket estimate, ~9% relative error *)
+  ; h_p90 : float
+  ; h_p99 : float
   }
 
 type domain_stats =
-  { d_id : int
+  { d_pid : int  (** the owning process *)
+  ; d_id : int
   ; d_spans : int
   ; d_busy_seconds : float
       (** summed duration of the domain's top-level spans: the
           utilization numerator (divide by the region's wall time) *)
   }
 
+type sample =
+  { s_pid : int
+  ; s_ts_ns : int64  (** relative to the last {!reset} *)
+  ; s_value : float
+  }
+
 type snapshot =
-  { spans : span list  (** sorted by start time, then domain *)
-  ; counters : (string * int) list  (** merged across domains, sorted *)
+  { spans : span list  (** sorted by start time, then pid, then domain *)
+  ; counters : (string * int) list
+    (** merged across domains and processes, sorted *)
   ; gauges : (string * float) list
   ; histograms : (string * histogram) list
-  ; domains : domain_stats list  (** one per domain that recorded *)
+  ; series : (string * sample list) list
+    (** per name, samples sorted by timestamp then pid *)
+  ; domains : domain_stats list
+    (** one per (process, domain) that recorded spans *)
+  ; processes : (int * string) list  (** pid → lane label, sorted *)
   }
 
 val snapshot : unit -> snapshot
-(** Merge every domain's buffer into one consistent view.  Sound
-    whenever no domain is actively recording (the pipeline exports
-    after its parallel sections have joined). *)
+(** Merge every domain's buffer plus every absorbed worker state into
+    one consistent view.  Sound whenever no domain is actively
+    recording (the pipeline exports after its parallel sections have
+    joined).  Each absorbed worker also contributes one sample to the
+    [proc.worker_rss_peak_kb] histogram. *)
 
 (** {1 Exporters} *)
 
 val summary_string : unit -> string
 (** The human-readable tree: span paths with call counts and total
-    time, followed by counters, gauges and histograms. *)
+    time, followed by processes, counters, gauges, histograms, series
+    and per-domain busy time. *)
 
 val metrics_json_string : unit -> string
-(** Schema [droidracer-metrics/1]: counters, gauges, histograms and
-    per-domain span statistics. *)
+(** Schema [droidracer-metrics/2]: counters, gauges, histograms (now
+    with [p50]/[p90]/[p99]), process list and pid-qualified per-domain
+    span statistics.  All [droidracer-metrics/1] fields are
+    preserved. *)
+
+val series_json_string : unit -> string
+(** Schema [droidracer-series/1]: every recorded time-series with
+    pid-tagged, timestamped samples. *)
 
 val chrome_trace_string : unit -> string
-(** Chrome [trace_event] JSON: one complete ("ph":"X") event per span,
-    one track (tid = domain id) per domain, with thread-name metadata
-    events.  Load in [chrome://tracing] or {{:https://ui.perfetto.dev}
-    Perfetto}. *)
+(** Chrome [trace_event] JSON: one complete ("ph":"X") event per span
+    on a (pid, tid = domain id) track, process-name and thread-name
+    metadata events per lane, and one counter ("ph":"C") event per
+    series sample.  Load in [chrome://tracing] or
+    {{:https://ui.perfetto.dev} Perfetto}. *)
 
 val write_chrome_trace : string -> unit
 val write_metrics_json : string -> unit
+val write_series_json : string -> unit

@@ -87,10 +87,19 @@ type 'b row =
 (* {1 Wire framing}
 
    One length-prefixed Marshal frame per message.  The parent sends
-   [(index, attempt)] pairs; a worker replies with [(index, value)]
+   [(index, attempt)] pairs; a worker replies with a ['b reply]
    marshalled with [Closures] — parent and child are the same forked
    image, so closure code pointers round-trip.  A short read means the
-   peer died; the length prefix bounds the allocation. *)
+   peer died; the length prefix bounds the allocation.
+
+   Besides task values, a worker that sees EOF on its request pipe
+   ships one final [Reply_telemetry] frame carrying its whole
+   [Obs.export_state] blob, so a graceful worker's spans and counters
+   survive the process boundary. *)
+
+type 'b reply =
+  | Reply_value of int * 'b
+  | Reply_telemetry of string
 
 let max_frame_bytes = 1 lsl 30
 
@@ -143,20 +152,59 @@ let in_worker_flag = ref false
 
 let in_worker () = !in_worker_flag
 
-let child_main ~max_mem ~f ~items rfd wfd =
+let child_main ~max_mem ~sidecar ~f ~items rfd wfd =
   in_worker_flag := true;
+  Obs.on_fork ();
+  Obs.set_process_label
+    (Printf.sprintf "droidracer-worker-%d" (Unix.getpid ()));
   (match max_mem with
    | Some mib -> (try set_mem_limit_mib mib with _ -> ())
    | None -> ());
+  let sidecar_path =
+    match sidecar with
+    | None -> None
+    | Some dir ->
+      Some (Filename.concat dir (Printf.sprintf "obs-%d.state" (Unix.getpid ())))
+  in
+  (* Crash insurance: refresh the sidecar after every task, so a
+     SIGKILL (hard deadline, OOM killer) loses at most the task in
+     flight.  The write is temp+rename, so the parent never reads a
+     torn state. *)
+  let write_sidecar () =
+    match sidecar_path with
+    | Some path when Obs.enabled () ->
+      (try Obs.write_state_file path with _ -> ())
+    | Some _ | None -> ()
+  in
+  (* Graceful exit: drop the sidecar (the parent treats surviving
+     sidecars as the telemetry of killed workers) and ship the final
+     state over the result pipe instead. *)
+  let farewell () =
+    if Obs.enabled () then begin
+      (match sidecar_path with
+       | Some path -> (try Sys.remove path with Sys_error _ -> ())
+       | None -> ());
+      (try
+         write_frame wfd
+           (Marshal.to_bytes (Reply_telemetry (Obs.export_state ())) [])
+       with _ -> ())
+    end;
+    Unix._exit 0
+  in
+  write_sidecar ();
   let rec loop () =
     match read_frame rfd with
-    | None -> Unix._exit 0
+    | None -> farewell ()
     | Some req ->
       let (idx, attempt) : int * int = Marshal.from_bytes req 0 in
       (match f ~attempt items.(idx) with
        | v ->
-         (try write_frame wfd (Marshal.to_bytes (idx, v) [ Marshal.Closures ])
+         (try
+            write_frame wfd
+              (Marshal.to_bytes (Reply_value (idx, v)) [ Marshal.Closures ])
           with _ -> Unix._exit 0);
+         Obs.maybe_sample ();
+         write_sidecar ();
          loop ()
        | exception Out_of_memory -> Unix._exit oom_exit_status
        | exception Stack_overflow -> Unix._exit stack_exit_status
@@ -199,7 +247,7 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 (* A freshly forked child inherits the parent's ends of every sibling
    pipe; it must close them, or the parent would never see EOF when a
    sibling dies. *)
-let spawn ~limits ~f ~items ~sibling_fds =
+let spawn ~limits ~sidecar ~f ~items ~sibling_fds =
   let req_r, req_w = Unix.pipe ~cloexec:false () in
   let res_r, res_w = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
@@ -218,7 +266,7 @@ let spawn ~limits ~f ~items ~sibling_fds =
     List.iter close_quietly sibling_fds;
     close_quietly req_w;
     close_quietly res_r;
-    (try child_main ~max_mem:limits.max_mem_mib ~f ~items req_r res_w
+    (try child_main ~max_mem:limits.max_mem_mib ~sidecar ~f ~items req_r res_w
      with _ -> ());
     Unix._exit 0
   | pid ->
@@ -238,6 +286,22 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
        ran (see [spawn]), but it guarantees no worker domain is mid-task
        while we fork. *)
     Par_pool.quiesce ();
+    (* When telemetry is on, give the workers a private directory for
+       their crash sidecars.  Workers that exit gracefully remove their
+       file and ship the state over the pipe instead, so whatever
+       remains at the end of the sweep is exactly the killed workers'
+       telemetry. *)
+    let sidecar_dir =
+      if not (Obs.enabled ()) then None
+      else begin
+        let path = Filename.temp_file "droidracer-obs-" ".d" in
+        Sys.remove path;
+        try
+          Unix.mkdir path 0o700;
+          Some path
+        with Unix.Unix_error _ -> None
+      end
+    in
     let items_arr = Array.of_list items in
     let n = Array.length items_arr in
     let jobs = max 1 (min jobs n) in
@@ -268,7 +332,8 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
     in
     let respawn slot =
       let pid, wr, rd =
-        spawn ~limits ~f ~items:items_arr ~sibling_fds:(live_fds ~except:(-1))
+        spawn ~limits ~sidecar:sidecar_dir ~f ~items:items_arr
+          ~sibling_fds:(live_fds ~except:(-1))
       in
       match workers.(slot) with
       | None ->
@@ -347,16 +412,18 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
     let handle_readable w =
       match read_frame w.w_rd with
       | Some frame ->
-        let idx, v = (Marshal.from_bytes frame 0 : int * _) in
-        (match w.w_state with
-         | Busy b when b.b_idx = idx ->
-           w.w_deaths <- 0;
-           w.w_state <- Idle;
-           handle_value tasks.(idx) v
-         | Idle | Busy _ | Dead _ ->
-           (* A frame we no longer expect (e.g. computed just as the
-              deadline killed the worker): drop it. *)
-           ())
+        (match (Marshal.from_bytes frame 0 : _ reply) with
+         | Reply_telemetry state -> ignore (Obs.absorb_state state)
+         | Reply_value (idx, v) ->
+           (match w.w_state with
+            | Busy b when b.b_idx = idx ->
+              w.w_deaths <- 0;
+              w.w_state <- Idle;
+              handle_value tasks.(idx) v
+            | Idle | Busy _ | Dead _ ->
+              (* A frame we no longer expect (e.g. computed just as the
+                 deadline killed the worker): drop it. *)
+              ()))
       | None -> reap w
     in
     let dispatch w task =
@@ -395,6 +462,63 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
         pending := List.filter (fun t -> t != task) !pending;
         Some task
     in
+    (* After the last task: close each surviving worker's request pipe
+       (EOF triggers its telemetry farewell), pump its result pipe for
+       the [Reply_telemetry] frame, then scavenge the sidecar files of
+       every worker that died without one. *)
+    let drain_telemetry () =
+      if Obs.enabled () then begin
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        Array.iter
+          (function
+            | Some w ->
+              (match w.w_state with
+               | Dead _ -> ()
+               | Idle | Busy _ ->
+                 close_quietly w.w_wr;
+                 let rec pump () =
+                   let remaining = deadline -. Unix.gettimeofday () in
+                   if remaining <= 0.0 then
+                     (* Too slow: kill it and fall back to its sidecar. *)
+                     (try Unix.kill w.w_pid Sys.sigkill
+                      with Unix.Unix_error _ -> ())
+                   else
+                     match Unix.select [ w.w_rd ] [] [] remaining with
+                     | [], _, _ ->
+                       (try Unix.kill w.w_pid Sys.sigkill
+                        with Unix.Unix_error _ -> ())
+                     | _ :: _, _, _ ->
+                       (match read_frame w.w_rd with
+                        | None -> ()
+                        | Some frame ->
+                          (match (Marshal.from_bytes frame 0 : _ reply) with
+                           | Reply_telemetry state ->
+                             ignore (Obs.absorb_state state);
+                             pump ()
+                           | Reply_value _ -> pump ()
+                           | exception _ -> ()))
+                     | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+                 in
+                 pump ();
+                 close_quietly w.w_rd;
+                 (try ignore (Unix.waitpid [] w.w_pid)
+                  with Unix.Unix_error _ -> ());
+                 w.w_state <- Dead { d_ready_at = Float.infinity })
+            | None -> ())
+          workers;
+        match sidecar_dir with
+        | None -> ()
+        | Some dir ->
+          (match Sys.readdir dir with
+           | files ->
+             Array.iter
+               (fun file ->
+                  if String.starts_with ~prefix:"obs-" file then
+                    ignore (Obs.absorb_state_file (Filename.concat dir file)))
+               files
+           | exception Sys_error _ -> ())
+      end
+    in
     let cleanup () =
       Array.iter
         (function
@@ -410,6 +534,18 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
                 with Unix.Unix_error _ -> ()))
           | None -> ())
         workers;
+      (match sidecar_dir with
+       | None -> ()
+       | Some dir ->
+         (match Sys.readdir dir with
+          | files ->
+            Array.iter
+              (fun file ->
+                 try Sys.remove (Filename.concat dir file)
+                 with Sys_error _ -> ())
+              files
+          | exception Sys_error _ -> ());
+         (try Unix.rmdir dir with Unix.Unix_error _ -> ()));
       ignore (Sys.signal Sys.sigpipe prev_sigpipe)
     in
     Fun.protect ~finally:cleanup (fun () ->
@@ -417,6 +553,7 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
         respawn slot
       done;
       while !finished < n do
+        Obs.maybe_sample ();
         let now = Unix.gettimeofday () in
         (* Respawn slots whose backoff has elapsed, while work remains. *)
         Array.iteri
@@ -500,6 +637,7 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
             workers
         end
       done;
+      drain_telemetry ();
       Array.to_list rows
       |> List.map (function
         | Some row -> row

@@ -31,6 +31,16 @@ open! Import
     [(index, attempt)] pair travels down and one result frame travels
     back per task.
 
+    {b Telemetry crosses the process boundary.}  When {!Obs.enabled},
+    each worker calls [Obs.on_fork] at birth, refreshes a crash-safe
+    sidecar file with its whole [Obs] state after every task, and on
+    the graceful EOF shutdown removes the sidecar and ships a final
+    telemetry frame up the result pipe instead.  After the last task
+    the parent drains those farewell frames and absorbs the sidecars
+    left behind by SIGKILL'd workers, so [Obs.snapshot] in the parent
+    sees every worker's spans, counters, histograms, series, and one
+    [proc.worker_rss_peak_kb] histogram sample per worker process.
+
     {b Fork before domains.}  The OCaml 5 runtime refuses [Unix.fork]
     once any domain has ever been spawned — joining them does not lift
     the restriction — so {!map} must run before the process's first

@@ -1,0 +1,54 @@
+open! Import
+
+(** Live progress reporting for corpus sweeps.
+
+    A sweep creates one tracker and reports each finished app into it
+    from whichever substrate ran the app — a domain-pool worker in
+    cooperative mode, the parent's [on_row] callback in isolated mode
+    (the tracker is mutex-protected).  Two outputs, both optional:
+
+    - an append-only {b [droidracer-progress/1]} JSONL stream: a header
+      record ([schema], [mode], [jobs], [total]), one ["type": "app"]
+      record per finished app (outcome, engine, event count, cumulative
+      done/total, events/sec, ETA, per-engine fallback counts), and a
+      final ["type": "summary"] record whose outcome counts match the
+      sweep's summary table — suitable for tailing a multi-hour sweep;
+    - a human heartbeat line per app through a caller-supplied sink
+      (the CLI uses stderr, keeping stdout byte-deterministic).
+
+    Rates and ETAs use the wall clock; they are operator feedback, not
+    part of the determinism contract.  Fallback counts are read from
+    the [supervisor.fallbacks.*] {!Obs} counters, so in isolated mode
+    they include everything absorbed from worker telemetry so far. *)
+
+type t
+
+val create :
+  ?out:out_channel ->
+  ?heartbeat:(string -> unit) ->
+  mode:string ->
+  jobs:int ->
+  total:int ->
+  unit ->
+  t
+(** Start tracking a sweep of [total] apps; writes the JSONL header
+    record immediately.  [out] stays open — the caller closes it after
+    {!finish}. *)
+
+val app_done :
+  t ->
+  app:string ->
+  outcome:string ->
+  engine:string ->
+  events:int ->
+  elapsed_seconds:float ->
+  ?resumed:bool ->
+  unit ->
+  unit
+(** Report one finished app.  [outcome] is ["completed"] or a failure
+    label (["crashed"], ["timed-out"], ...); anything other than
+    ["completed"] counts as failed in the summary.  [resumed] marks
+    rows replayed from a journal rather than executed. *)
+
+val finish : t -> unit
+(** Write the summary record and heartbeat (idempotent). *)

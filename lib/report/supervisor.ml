@@ -466,9 +466,32 @@ let journalled_outcomes journal =
       (Journal.prior j);
     table
 
+(* One progress record per finished app, whatever substrate finished
+   it.  Completed rows report the observed event count and the
+   analysis wall time; failures report the failure label and the
+   engine the attempt was using. *)
+let report_progress progress ?(resumed = false) ~engine spec outcome =
+  match progress with
+  | None -> ()
+  | Some p ->
+    let app = spec.Synthetic.s_name in
+    (match outcome with
+     | Completed run ->
+       (* Completed runs are attributed to the engine the sweep was
+          configured with — the same rule [outcome_of_row] applies to
+          dead workers; failures carry their own attribution. *)
+       Progress.app_done p ~app ~outcome:"completed" ~engine
+         ~events:(Trace.length run.Experiments.ar_result.Runtime.observed)
+         ~elapsed_seconds:run.Experiments.ar_report.Detector.elapsed_seconds
+         ~resumed ()
+     | Failed f ->
+       Progress.app_done p ~app ~outcome:(reason_label f.f_reason)
+         ~engine:f.f_engine ~events:0 ~elapsed_seconds:f.f_elapsed ~resumed ())
+
 let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
     ?(config = Detector.default_config) ?(budget = no_budget)
-    ?(retry = Proc_pool.default_retry) ?(mode = Cooperative) ?journal () =
+    ?(retry = Proc_pool.default_retry) ?(mode = Cooperative) ?journal
+    ?progress () =
   Obs.with_span "supervisor.catalog" @@ fun () ->
   let prior = journalled_outcomes journal in
   let resumed name = Hashtbl.find_opt prior name in
@@ -479,9 +502,18 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
   in
   let n_resumed = List.length specs - List.length to_run in
   if n_resumed > 0 then Obs.add ~n:n_resumed "journal.resumed";
+  let engine = configured_engine config in
+  List.iter
+    (fun spec ->
+       match resumed spec.Synthetic.s_name with
+       | Some outcome ->
+         report_progress progress ~resumed:true ~engine spec outcome
+       | None -> ())
+    specs;
   let fresh = Hashtbl.create 16 in
   let record spec outcome =
-    record_outcome journal ~app:spec.Synthetic.s_name outcome
+    record_outcome journal ~app:spec.Synthetic.s_name outcome;
+    report_progress progress ~engine spec outcome
   in
   (match mode with
    | Cooperative ->
@@ -499,7 +531,6 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
           to_run)
    | Isolated { max_mem_mib } ->
      let specs_arr = Array.of_list to_run in
-     let engine = configured_engine config in
      let limits =
        { Proc_pool.deadline_seconds = budget.timeout_seconds; max_mem_mib }
      in
@@ -518,6 +549,9 @@ let run_catalog ?(jobs = 1) ?(specs = Catalog.all)
           Hashtbl.replace fresh specs_arr.(idx).Synthetic.s_name
             (outcome_of_row ~engine specs_arr.(idx) row))
        rows);
+  (* In isolated mode the worker telemetry has been drained by now, so
+     the summary record's fallback counts are fleet-wide. *)
+  (match progress with Some p -> Progress.finish p | None -> ());
   List.map
     (fun spec ->
        let name = spec.Synthetic.s_name in

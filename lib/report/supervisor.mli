@@ -169,9 +169,12 @@ type mode =
   | Isolated of { max_mem_mib : int option }
       (** each attempt in a forked {!Proc_pool} worker: hard SIGKILL
           deadlines (from [budget.timeout_seconds]), an optional
-          address-space cap, crash containment.  Per-app telemetry
-          counters incremented inside workers die with them; the
-          parent-side [proc.*] counters survive.  Must run before the
+          address-space cap, crash containment.  Worker telemetry
+          (spans, counters, histograms, series) is shipped back over
+          the result pipe at graceful exit — or recovered from the
+          crash sidecar of a killed worker — and merged into the
+          parent's [Obs] view (see {!Proc_pool}), alongside the
+          parent-side [proc.*] counters.  Must run before the
           process's first domain-parallel computation — OCaml 5 refuses
           [fork] once any domain has ever been spawned (see
           {!Proc_pool}) — which the [--isolate] CLI path guarantees by
@@ -190,11 +193,19 @@ val run_catalog :
   ?retry:Proc_pool.retry_policy ->
   ?mode:mode ->
   ?journal:Journal.t ->
+  ?progress:Progress.t ->
   unit ->
   outcome list
 (** The supervised {!Experiments.run_catalog}: same order and
     parallelism contract, but misbehaving applications yield {!Failed}
     rows instead of aborting the sweep.
+
+    With [~progress], every finished app is reported to the tracker
+    the moment its outcome is known (journal-replayed outcomes are
+    reported upfront with [resumed = true]), and the summary record is
+    written before this function returns — in isolated mode that is
+    after the worker telemetry has been drained, so the final fallback
+    counts are fleet-wide.
 
     With [~journal], every finished outcome is durably appended the
     moment it is known (from whichever domain or [on_row] callback saw

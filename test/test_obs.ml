@@ -204,6 +204,192 @@ let test_metrics_json_parses_back () =
   check_bool "summary names the analyze span" true
     (contains_substring ~needle:"detector.analyze" (Obs.summary_string ()))
 
+(* {1 Histogram quantiles}
+
+   The log-bucketed sketch (8 buckets per octave) guarantees ~9%
+   relative error; the checks allow 15% for slack. *)
+
+let test_histogram_quantiles () =
+  with_telemetry @@ fun () ->
+  for i = 1 to 1000 do
+    Obs.observe "q.uniform" (float_of_int i)
+  done;
+  let snap = Obs.snapshot () in
+  match List.assoc_opt "q.uniform" snap.Obs.histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    check_int "count" 1000 h.Obs.h_count;
+    Alcotest.check (Alcotest.float 1e-6) "min" 1.0 h.Obs.h_min;
+    Alcotest.check (Alcotest.float 1e-6) "max" 1000.0 h.Obs.h_max;
+    let within name expected actual =
+      check_bool
+        (Printf.sprintf "%s ~ %.0f (got %.1f)" name expected actual)
+        true
+        (Float.abs (actual -. expected) /. expected <= 0.15)
+    in
+    within "p50" 500.0 h.Obs.h_p50;
+    within "p90" 900.0 h.Obs.h_p90;
+    within "p99" 990.0 h.Obs.h_p99;
+    check_bool "quantiles ordered" true
+      (h.Obs.h_p50 <= h.Obs.h_p90
+       && h.Obs.h_p90 <= h.Obs.h_p99
+       && h.Obs.h_p99 <= h.Obs.h_max);
+    check_bool "quantiles bounded below" true (h.Obs.h_min <= h.Obs.h_p50)
+
+let test_quantiles_nonpositive_samples () =
+  with_telemetry @@ fun () ->
+  List.iter (Obs.observe "q.edge") [ -5.0; 0.0; 3.0 ];
+  let snap = Obs.snapshot () in
+  match List.assoc_opt "q.edge" snap.Obs.histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    check_int "count" 3 h.Obs.h_count;
+    (* non-positive samples fall in the underflow bucket, reported as
+       the observed minimum rather than a NaN or a crash *)
+    Alcotest.check (Alcotest.float 1e-6) "p50 is the minimum" (-5.0) h.Obs.h_p50;
+    check_bool "p99 within range" true
+      (h.Obs.h_p99 >= h.Obs.h_min && h.Obs.h_p99 <= h.Obs.h_max)
+
+let test_metrics_schema_v2 () =
+  with_telemetry @@ fun () ->
+  Obs.observe "q.schema" 4.0;
+  Obs.add "q.counter";
+  let json = json_of_string "metrics" (Obs.metrics_json_string ()) in
+  (match Json_parse.member "schema" json with
+   | Some (Json_parse.String s) -> check_string "schema" "droidracer-metrics/2" s
+   | Some _ | None -> Alcotest.fail "schema field missing");
+  (match Option.bind (Json_parse.member "processes" json) Json_parse.to_list with
+   | Some (_ :: _ as ps) ->
+     List.iter
+       (fun p ->
+          check_bool "process has pid" true (Json_parse.member "pid" p <> None);
+          check_bool "process has label" true
+            (Json_parse.member "label" p <> None))
+       ps
+   | Some [] | None -> Alcotest.fail "processes array missing");
+  match
+    Option.bind (Json_parse.member "histograms" json)
+      (Json_parse.member "q.schema")
+  with
+  | None -> Alcotest.fail "histograms.q.schema missing"
+  | Some h ->
+    (* v2 adds the quantile fields but keeps every v1 field *)
+    List.iter
+      (fun field ->
+         check_bool (field ^ " present") true (Json_parse.member field h <> None))
+      [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ]
+
+(* {1 Resource time-series} *)
+
+let test_series_export () =
+  with_telemetry @@ fun () ->
+  Obs.record_series "t.level" 1.0;
+  Obs.record_series "t.level" 2.0;
+  Obs.sample_resources ();
+  let json = json_of_string "series" (Obs.series_json_string ()) in
+  (match Json_parse.member "schema" json with
+   | Some (Json_parse.String s) -> check_string "schema" "droidracer-series/1" s
+   | Some _ | None -> Alcotest.fail "schema field missing");
+  check_bool "sample period reported" true
+    (Json_parse.member "sample_period_seconds" json <> None);
+  let series =
+    match Option.bind (Json_parse.member "series" json) Json_parse.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "series array missing"
+  in
+  let find name =
+    List.find_opt
+      (fun s ->
+         Json_parse.member "name" s = Some (Json_parse.String name))
+      series
+  in
+  (match Option.bind (find "t.level")
+           (fun s ->
+              Option.bind (Json_parse.member "samples" s) Json_parse.to_list)
+   with
+   | Some samples ->
+     check_int "both samples exported" 2 (List.length samples);
+     let ts =
+       List.filter_map
+         (fun s -> Option.bind (Json_parse.member "t_ns" s) Json_parse.to_number)
+         samples
+     in
+     check_bool "samples sorted by time" true (List.sort compare ts = ts);
+     List.iter
+       (fun s ->
+          List.iter
+            (fun field ->
+               check_bool (field ^ " present") true
+                 (Json_parse.member field s <> None))
+            [ "pid"; "t_ns"; "value" ])
+       samples
+   | None -> Alcotest.fail "t.level series missing");
+  check_bool "resource sampler recorded RSS" true (find "proc.rss_kb" <> None);
+  check_bool "resource sampler recorded heap words" true
+    (find "gc.major_heap_words" <> None);
+  (* series also surface as Chrome counter events *)
+  let chrome = json_of_string "chrome trace" (Obs.chrome_trace_string ()) in
+  let counters =
+    match
+      Option.bind (Json_parse.member "traceEvents" chrome) Json_parse.to_list
+    with
+    | Some evs ->
+      List.filter
+        (fun e -> Json_parse.member "ph" e = Some (Json_parse.String "C"))
+        evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  check_bool "counter events present" true (List.length counters >= 3)
+
+(* {1 Cross-process state transport} *)
+
+let test_state_roundtrip () =
+  with_telemetry @@ fun () ->
+  Obs.add ~n:7 "rt.counter";
+  Obs.observe "rt.hist" 2.0;
+  Obs.observe "rt.hist" 8.0;
+  Obs.with_span "rt.span" (fun () -> ());
+  Obs.record_series "rt.series" 42.0;
+  let blob = Obs.export_state () in
+  Obs.reset ();
+  (let snap = Obs.snapshot () in
+   check_int "reset really cleared counters" 0 (List.length snap.Obs.counters));
+  (match Obs.absorb_state blob with
+   | Some pid -> check_int "absorbed state names this process" (Unix.getpid ()) pid
+   | None -> Alcotest.fail "round-trip rejected");
+  let snap = Obs.snapshot () in
+  check_int "counter restored" 7
+    (Option.value (List.assoc_opt "rt.counter" snap.Obs.counters) ~default:0);
+  (match List.assoc_opt "rt.hist" snap.Obs.histograms with
+   | Some h ->
+     check_int "histogram count restored" 2 h.Obs.h_count;
+     Alcotest.check (Alcotest.float 1e-6) "histogram sum restored" 10.0 h.Obs.h_sum
+   | None -> Alcotest.fail "histogram lost in transport");
+  check_bool "span restored" true
+    (List.exists (fun s -> s.Obs.sp_name = "rt.span") snap.Obs.spans);
+  (match List.assoc_opt "rt.series" snap.Obs.series with
+   | Some [ s ] ->
+     Alcotest.check (Alcotest.float 1e-6) "series value restored" 42.0
+       s.Obs.s_value
+   | Some l -> Alcotest.failf "expected 1 sample, got %d" (List.length l)
+   | None -> Alcotest.fail "series lost in transport");
+  (* an absorbed worker contributes its RSS peak as a histogram sample *)
+  (match List.assoc_opt "proc.worker_rss_peak_kb" snap.Obs.histograms with
+   | Some h ->
+     check_int "one worker RSS sample" 1 h.Obs.h_count;
+     check_bool "worker RSS positive" true (h.Obs.h_min > 0.0)
+   | None -> Alcotest.fail "worker RSS histogram missing")
+
+let test_absorb_rejects_garbage () =
+  with_telemetry @@ fun () ->
+  check_bool "empty string rejected" true (Obs.absorb_state "" = None);
+  check_bool "wrong magic rejected" true
+    (Obs.absorb_state "not-a-state-blob" = None);
+  check_bool "truncated blob rejected" true
+    (Obs.absorb_state "droidracer-obs-state/1\nXY" = None);
+  let snap = Obs.snapshot () in
+  check_int "nothing absorbed" 0 (List.length snap.Obs.counters)
+
 (* {1 Telemetry transparency} *)
 
 (* The whole subsystem's contract: enabling telemetry must not change a
@@ -269,11 +455,24 @@ let () =
         ; Alcotest.test_case "reset clears every domain" `Quick
             test_reset_clears_all_domains
         ] )
+    ; ( "quantiles"
+      , [ Alcotest.test_case "uniform distribution" `Quick
+            test_histogram_quantiles
+        ; Alcotest.test_case "non-positive samples" `Quick
+            test_quantiles_nonpositive_samples
+        ] )
     ; ( "exporters"
       , [ Alcotest.test_case "chrome trace parses back" `Quick
             test_chrome_trace_parses_back
         ; Alcotest.test_case "metrics JSON parses back" `Quick
             test_metrics_json_parses_back
+        ; Alcotest.test_case "metrics schema v2" `Quick test_metrics_schema_v2
+        ; Alcotest.test_case "series export" `Quick test_series_export
+        ] )
+    ; ( "transport"
+      , [ Alcotest.test_case "state round-trip" `Quick test_state_roundtrip
+        ; Alcotest.test_case "garbage rejected" `Quick
+            test_absorb_rejects_garbage
         ] )
     ; ( "transparency"
       , [ Alcotest.test_case "analyze identical with telemetry on/off" `Quick

@@ -80,8 +80,11 @@ let test_map_order () =
 
 let test_segfault_contained () =
   with_obs @@ fun () ->
+  (* jobs:1 pins the schedule: the lone worker completes item 0, dies
+     on item 1 while item 2 is still pending, so a replacement fork is
+     mandatory, not a race against an idle sibling stealing the tail. *)
   let rows =
-    Proc_pool.map ~jobs:2 ~retry:Proc_pool.no_retry
+    Proc_pool.map ~jobs:1 ~retry:Proc_pool.no_retry
       (fun ~attempt:_ x ->
          if x = 1 then Unix.kill (Unix.getpid ()) Sys.sigsegv;
          x + 100)
@@ -287,6 +290,138 @@ let test_supervised_hang_without_retry_times_out () =
     true
     (elapsed < 6.0)
 
+(* {1 Cross-process telemetry} *)
+
+let test_sigkill_sidecar_recovery () =
+  (* A worker SIGKILLed mid-sweep cannot send its farewell frame; the
+     sidecar state file it wrote after its last completed task must
+     still deliver its telemetry.  jobs:1 pins both tasks to the same
+     worker: task 0 bumps a counter and completes (flushing the
+     sidecar), task 1 kills the process. *)
+  with_obs @@ fun () ->
+  let rows =
+    Proc_pool.map ~jobs:1 ~retry:Proc_pool.no_retry
+      (fun ~attempt:_ x ->
+         Obs.add ~n:100 "sidecar.work";
+         if x = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+         x)
+      [ 0; 1 ]
+  in
+  (match rows with
+   | [ ok; killed ] ->
+     check_int "task 0 completed" 0 (List.hd (values [ ok ]));
+     (match killed.Proc_pool.r_result with
+      | Proc_pool.Died (Proc_pool.Signaled s) ->
+        check_string "task 1 died by SIGKILL" "SIGKILL"
+          (Proc_pool.signal_name s)
+      | _ -> Alcotest.fail "task 1 should have died")
+   | _ -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  (* Only task 0's bump is recoverable: task 1 bumped before dying, but
+     its sidecar was last flushed after task 0. *)
+  check_int "counter recovered from the sidecar" 100 (counter "sidecar.work");
+  (* the killed worker still contributes an RSS sample *)
+  match
+    List.assoc_opt "proc.worker_rss_peak_kb" (Obs.snapshot ()).Obs.histograms
+  with
+  | Some h ->
+    check_bool "RSS histogram has the killed worker" true (h.Obs.h_count >= 1);
+    check_bool "RSS positive" true (h.Obs.h_min > 0.0)
+  | None -> Alcotest.fail "worker RSS histogram missing"
+
+(* A fault-free isolated sweep over the two cheapest corpus apps. *)
+let run_isolated_healthy ~jobs =
+  Supervisor.run_catalog ~jobs ~specs:specs2
+    ~budget:{ Supervisor.timeout_seconds = Some 60.0; max_events = None }
+    ~mode:(Supervisor.Isolated { max_mem_mib = None })
+    ()
+
+let test_isolated_telemetry_merged () =
+  (* A healthy isolated sweep: children analyse, the parent's snapshot
+     must contain their spans (pid-qualified), their counters, and one
+     RSS sample per worker — and the Chrome exporter must render one
+     process lane per pid. *)
+  with_obs @@ fun () ->
+  let outcomes = run_isolated_healthy ~jobs:2 in
+  check_int "both apps have outcomes" 2 (List.length outcomes);
+  check_bool "children's analysis counters merged" true
+    (counter "hb.passes" > 0);
+  let snap = Obs.snapshot () in
+  let span_pids =
+    List.sort_uniq compare (List.map (fun s -> s.Obs.sp_pid) snap.Obs.spans)
+  in
+  check_bool
+    (Printf.sprintf "spans from parent and workers (%d pids)"
+       (List.length span_pids))
+    true
+    (List.length span_pids >= 3);
+  check_bool "parent pid among the spans" true
+    (List.mem (Unix.getpid ()) span_pids);
+  check_bool "child-side app spans present" true
+    (List.exists
+       (fun s -> s.Obs.sp_name = "supervisor.app" && s.Obs.sp_pid <> Unix.getpid ())
+       snap.Obs.spans);
+  check_int "process table covers every span pid"
+    (List.length span_pids)
+    (List.length
+       (List.filter (fun (pid, _) -> List.mem pid span_pids) snap.Obs.processes));
+  (match List.assoc_opt "proc.worker_rss_peak_kb" snap.Obs.histograms with
+   | Some h ->
+     check_bool "one RSS sample per worker" true (h.Obs.h_count >= 2);
+     check_bool "worker RSS positive" true (h.Obs.h_min > 0.0)
+   | None -> Alcotest.fail "worker RSS histogram missing");
+  (* Chrome exporter: every X event carries a real pid, and each pid
+     has a process_name metadata record. *)
+  let chrome =
+    match Json_parse.parse (Obs.chrome_trace_string ()) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "chrome trace is not valid JSON: %s" msg
+  in
+  let events =
+    match
+      Option.bind (Json_parse.member "traceEvents" chrome) Json_parse.to_list
+    with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let pids_of ph =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+            if Json_parse.member "ph" e = Some (Json_parse.String ph) then
+              Option.bind (Json_parse.member "pid" e) Json_parse.to_number
+            else None)
+         events)
+  in
+  check_bool "one Chrome lane per process" true
+    (List.length (pids_of "X") >= 3);
+  let process_names =
+    List.filter
+      (fun e ->
+         Json_parse.member "ph" e = Some (Json_parse.String "M")
+         && Json_parse.member "name" e = Some (Json_parse.String "process_name"))
+      events
+  in
+  check_int "every process lane is named"
+    (List.length snap.Obs.processes)
+    (List.length process_names)
+
+let test_isolated_counters_jobs_deterministic () =
+  (* Fleet-wide merged counters must not depend on how tasks landed on
+     workers.  "proc.*" bookkeeping (restarts, per-worker RSS) varies
+     with the worker count by design and is excluded. *)
+  let sweep jobs =
+    with_obs @@ fun () ->
+    ignore (run_isolated_healthy ~jobs);
+    List.filter
+      (fun (name, _) -> not (String.starts_with ~prefix:"proc." name))
+      (Obs.snapshot ()).Obs.counters
+  in
+  let c1 = sweep 1 in
+  let c2 = sweep 2 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "merged counters identical at jobs 1 and 2" c1 c2
+
 let test_isolated_matches_cooperative () =
   (* On the cooperative fault classes the two modes must agree row for
      row (seed 3: Aard persistent crash, Music transient crash). *)
@@ -325,7 +460,20 @@ let () =
             test_supervised_hang_recovers
         ; Alcotest.test_case "persistent hang times out within budget" `Slow
             test_supervised_hang_without_retry_times_out
-        ; Alcotest.test_case "isolated matches cooperative rows" `Slow
+        ] )
+      (* [test_isolated_matches_cooperative] spawns pool domains, after
+         which OCaml 5 refuses [fork]: every forking test must run in a
+         suite registered before it. *)
+    ; ( "cross-process telemetry"
+      , [ Alcotest.test_case "SIGKILL sidecar recovery" `Quick
+            test_sigkill_sidecar_recovery
+        ; Alcotest.test_case "worker telemetry merged" `Slow
+            test_isolated_telemetry_merged
+        ; Alcotest.test_case "merged counters jobs-deterministic" `Slow
+            test_isolated_counters_jobs_deterministic
+        ] )
+    ; ( "modes"
+      , [ Alcotest.test_case "isolated matches cooperative rows" `Slow
             test_isolated_matches_cooperative
         ] )
     ]

@@ -21,6 +21,7 @@ module Trace = Droidracer_trace.Trace
 module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
 module Obs = Droidracer_obs.Obs
+module Progress = Droidracer_report.Progress
 open Helpers
 
 let check = Alcotest.check
@@ -349,6 +350,92 @@ let test_failures_json () =
           = Some (Json_parse.Number 0.5))
      | _ -> Alcotest.fail "failures array missing")
 
+(* {1 Live sweep progress} *)
+
+let test_progress_jsonl () =
+  (* Seed 3: Aard = persistent crash (fails), Music = transient crash
+     (retries, then completes) — one of each terminal outcome.  Every
+     line of the JSONL stream must parse; the header carries the
+     schema; the summary must agree with the outcome rows. *)
+  with_obs @@ fun () ->
+  let path = Filename.temp_file "droidracer-progress-" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let heartbeats = ref [] in
+  let outcomes =
+    let out = open_out path in
+    Fun.protect ~finally:(fun () -> close_out out) @@ fun () ->
+    let progress =
+      Progress.create ~out
+        ~heartbeat:(fun line -> heartbeats := line :: !heartbeats)
+        ~mode:"cooperative" ~jobs:2 ~total:(List.length specs2) ()
+    in
+    Supervisor.with_faults ~seed:3 (fun () ->
+      Supervisor.run_catalog ~jobs:2 ~specs:specs2 ~progress ())
+  in
+  let completed, failed =
+    List.partition (function Supervisor.Completed _ -> true | _ -> false)
+      outcomes
+  in
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let records =
+    List.map
+      (fun line ->
+         match Json_parse.parse line with
+         | Ok v -> v
+         | Error msg -> Alcotest.failf "bad JSONL line: %s\n%s" msg line)
+      lines
+  in
+  (* header + one record per app + summary *)
+  check_int "record count" (List.length specs2 + 2) (List.length records);
+  (match records with
+   | header :: rest ->
+     check_bool "header schema" true
+       (Json_parse.member "schema" header
+        = Some (Json_parse.String "droidracer-progress/1"));
+     check_bool "header mode" true
+       (Json_parse.member "mode" header
+        = Some (Json_parse.String "cooperative"));
+     check_bool "header total" true
+       (Json_parse.member "total" header
+        = Some (Json_parse.Number (float_of_int (List.length specs2))));
+     let apps, summary =
+       match List.rev rest with
+       | s :: apps_rev -> (List.rev apps_rev, s)
+       | [] -> Alcotest.fail "no records after the header"
+     in
+     List.iteri
+       (fun i app ->
+          check_bool "app record type" true
+            (Json_parse.member "type" app = Some (Json_parse.String "app"));
+          List.iter
+            (fun field ->
+               check_bool (field ^ " present") true
+                 (Json_parse.member field app <> None))
+            [ "app"; "outcome"; "engine"; "events"; "elapsed_seconds"
+            ; "done"; "total"; "events_per_sec"; "eta_seconds"; "fallbacks"
+            ];
+          check_bool "done increments" true
+            (Json_parse.member "done" app
+             = Some (Json_parse.Number (float_of_int (i + 1)))))
+       apps;
+     check_bool "summary type" true
+       (Json_parse.member "type" summary
+        = Some (Json_parse.String "summary"));
+     let num field v =
+       check_bool (Printf.sprintf "summary %s = %d" field v) true
+         (Json_parse.member field summary
+          = Some (Json_parse.Number (float_of_int v)))
+     in
+     num "done" (List.length outcomes);
+     num "total" (List.length specs2);
+     num "completed" (List.length completed);
+     num "failed" (List.length failed)
+   | [] -> Alcotest.fail "empty progress stream");
+  (* heartbeats: one per app plus the final "sweep done" line *)
+  check_int "heartbeat count" (List.length specs2 + 1) (List.length !heartbeats);
+  check_bool "final heartbeat is the summary" true
+    (Astring_contains.contains (List.hd !heartbeats) "sweep done")
+
 let test_failure_table () =
   let rendered =
     Droidracer_report.Table.render (Supervisor.failure_table sample_failures)
@@ -383,6 +470,10 @@ let () =
         ; Alcotest.test_case "event budget falls back to streaming" `Slow
             test_event_budget_streaming_fallback
         ; Alcotest.test_case "obs counters" `Slow test_ingest_counter
+        ] )
+    ; ( "progress"
+      , [ Alcotest.test_case "JSONL stream well-formed" `Slow
+            test_progress_jsonl
         ] )
     ; ( "analyze"
       , [ Alcotest.test_case "valid trace" `Quick test_analyze_valid

@@ -18,6 +18,11 @@
                    throughput and memory profile (schema
                    droidracer-streaming/1; the CI streaming gate
                    archives it);
+   - [--corpus-json PATH] also write the codec + corpus-sweep record
+                   (schema droidracer-corpus-bench/1: text vs binary
+                   sizes and events/sec, race-table equality, apps/hour
+                   and peak worker RSS; the CI corpus gate archives it
+                   as BENCH_corpus.json);
    - [--trace-out PATH]   enable telemetry and write a Chrome
                    trace_event JSON of the whole run (one track per
                    analysis domain; chrome://tracing / Perfetto);
@@ -25,6 +30,8 @@
                    histograms and per-domain statistics as JSON. *)
 
 module Trace = Droidracer_trace.Trace
+module Trace_io = Droidracer_trace.Trace_io
+module Binfmt = Droidracer_trace.Binfmt
 module Wellformed = Droidracer_trace.Wellformed
 module Graph = Droidracer_core.Graph
 module Happens_before = Droidracer_core.Happens_before
@@ -33,6 +40,7 @@ module Clock_engine = Droidracer_core.Clock_engine
 module Streaming_engine = Droidracer_core.Streaming_engine
 module Par_pool = Droidracer_core.Par_pool
 module Longtrace = Droidracer_corpus.Longtrace
+module Vargen = Droidracer_corpus.Vargen
 module Runtime = Droidracer_appmodel.Runtime
 module Music_player = Droidracer_corpus.Music_player
 module Catalog = Droidracer_corpus.Catalog
@@ -57,13 +65,14 @@ type options =
   ; metrics_out : string option
   ; series_out : string option
   ; baseline : string option
+  ; corpus_json : string option
   }
 
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
-     [--streaming-json PATH] [--trace-out PATH] [--metrics-out PATH] \
-     [--series-out PATH] [--baseline PATH]";
+     [--streaming-json PATH] [--corpus-json PATH] [--trace-out PATH] \
+     [--metrics-out PATH] [--series-out PATH] [--baseline PATH]";
   exit 2
 
 let parse_options () =
@@ -90,6 +99,8 @@ let parse_options () =
         go (i + 2) { acc with series_out = Some Sys.argv.(i + 1) }
       | "--baseline" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with baseline = Some Sys.argv.(i + 1) }
+      | "--corpus-json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with corpus_json = Some Sys.argv.(i + 1) }
       | _ -> usage ()
   in
   go 1
@@ -102,6 +113,7 @@ let parse_options () =
     ; metrics_out = None
     ; series_out = None
     ; baseline = None
+    ; corpus_json = None
     }
 
 (* {1 Wall-clock stage timings}
@@ -415,6 +427,210 @@ let write_hb_engines_json path (eruns : engine_run list) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* {1 Binary codec + corpus sweep}
+
+   Two measurements around the binary trace codec.  Codec: the same
+   generated trace written in both formats, then re-read through the
+   format-sniffing streaming reader — on-disk size and events/sec, text
+   vs binary, plus a race-table equality check (the streaming engine
+   over both files must report identical races).  Corpus: a directory
+   of generated binary app variants swept by the process-isolated
+   supervisor — apps/hour and the peak worker RSS from the [proc]
+   histogram.
+
+   Like [supervision_overhead], this stage forks workers, so it must
+   run before the process's first domain-parallel computation. *)
+
+type corpus_bench =
+  { cb_events : int
+  ; cb_text_bytes : int
+  ; cb_binary_bytes : int
+  ; cb_text_parse_dt : float
+  ; cb_binary_decode_dt : float
+  ; cb_tables_identical : bool
+  ; cb_variants : int
+  ; cb_completed : int
+  ; cb_failed : int
+  ; cb_sweep_dt : float
+  ; cb_peak_worker_rss_kb : float
+  }
+
+let count_events path =
+  match Trace_io.fold_events path ~init:0 ~f:(fun n ~line:_ _ -> n + 1) with
+  | Ok n -> n
+  | Error e ->
+    Printf.eprintf "bench: %s: %s\n" path (Trace_io.read_error_message e);
+    exit 1
+
+let races_of_file path =
+  match Streaming_engine.detect_file path with
+  | Ok (races, _) -> races
+  | Error e ->
+    Printf.eprintf "bench: %s: %s\n" path (Trace_io.read_error_message e);
+    exit 1
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "droidracer_bench" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> Sys.remove (Filename.concat dir name))
+           (Sys.readdir dir);
+         Sys.rmdir dir
+       with Sys_error _ -> ()))
+    (fun () -> f dir)
+
+let corpus_codec_stage ~quick ~jobs =
+  with_temp_dir @@ fun dir ->
+  let events = if quick then 200_000 else 1_000_000 in
+  let text_path = Filename.concat dir "big.trace" in
+  let bin_path = Filename.concat dir "big.drt" in
+  let nt, text_write_dt =
+    timed "codec_text_write" (fun () -> Longtrace.write ~events text_path)
+  in
+  let nb, bin_write_dt =
+    timed "codec_binary_write" (fun () ->
+      Longtrace.write_binary ~events bin_path)
+  in
+  assert (nt = events && nb = events);
+  let text_bytes = (Unix.stat text_path).Unix.st_size in
+  let bin_bytes = (Unix.stat bin_path).Unix.st_size in
+  let n_text, text_parse_dt =
+    timed "codec_text_parse" (fun () -> count_events text_path)
+  in
+  let n_bin, bin_decode_dt =
+    timed "codec_binary_decode" (fun () -> count_events bin_path)
+  in
+  assert (n_text = events && n_bin = events);
+  let text_races, _ =
+    timed "codec_races_text" (fun () -> races_of_file text_path)
+  in
+  let bin_races, _ =
+    timed "codec_races_binary" (fun () -> races_of_file bin_path)
+  in
+  let identical = text_races = bin_races in
+  let mev dt = float_of_int events /. 1e6 /. Float.max 1e-9 dt in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Trace codec (%d generated events)" events)
+      ~columns:[ "format"; "bytes"; "write"; "read"; "read rate"; "races" ]
+  in
+  Table.add_row table
+    [ "text"
+    ; string_of_int text_bytes
+    ; Printf.sprintf "%.3fs" text_write_dt
+    ; Printf.sprintf "%.3fs" text_parse_dt
+    ; Printf.sprintf "%.1f Mev/s" (mev text_parse_dt)
+    ; string_of_int (List.length text_races)
+    ];
+  Table.add_row table
+    [ "binary"
+    ; string_of_int bin_bytes
+    ; Printf.sprintf "%.3fs" bin_write_dt
+    ; Printf.sprintf "%.3fs" bin_decode_dt
+    ; Printf.sprintf "%.1f Mev/s" (mev bin_decode_dt)
+    ; string_of_int (List.length bin_races)
+    ];
+  Table.print table;
+  Printf.printf
+    "binary is %.1fx smaller on disk, decodes %.1fx faster; race tables \
+     identical: %b\n"
+    (float_of_int text_bytes /. Float.max 1.0 (float_of_int bin_bytes))
+    (text_parse_dt /. Float.max 1e-9 bin_decode_dt)
+    identical;
+  if not identical then exit 1;
+  (* The corpus sweep: binary variants through the isolated supervisor.
+     Telemetry is turned on for the sweep (if it was off) so the worker
+     RSS histogram is populated, and restored afterwards. *)
+  let n_variants = if quick then 12 else 40 in
+  let variants =
+    Vargen.variants ~seed:11 ~events:(if quick then 1_200 else 2_500)
+      ~count:n_variants ()
+  in
+  let paths = List.map (Vargen.write ~dir ~binary:true) variants in
+  let was_enabled = Obs.enabled () in
+  if not was_enabled then Obs.enable ();
+  let outcomes, sweep_dt =
+    timed "codec_corpus_sweep" (fun () ->
+      Supervisor.run_files ~jobs
+        ~budget:{ Supervisor.timeout_seconds = Some 120.0; max_events = None }
+        ~mode:(Supervisor.Isolated { max_mem_mib = None })
+        paths)
+  in
+  let peak_rss =
+    let snap = Obs.snapshot () in
+    match List.assoc_opt "proc.worker_rss_peak_kb" snap.Obs.histograms with
+    | Some h -> h.Obs.h_max
+    | None -> 0.0
+  in
+  if not was_enabled then Obs.disable ();
+  let completed = List.length (Supervisor.file_completed outcomes) in
+  let failed = List.length (Supervisor.file_failures outcomes) in
+  Printf.printf
+    "swept %d binary variants in %.3fs wall (%d jobs): %d completed, %d \
+     failed, %.1f apps/hour, peak worker RSS %d KiB\n"
+    n_variants sweep_dt jobs completed failed
+    (float_of_int completed /. Float.max 1e-9 sweep_dt *. 3600.0)
+    (int_of_float peak_rss);
+  if failed > 0 then exit 1;
+  { cb_events = events
+  ; cb_text_bytes = text_bytes
+  ; cb_binary_bytes = bin_bytes
+  ; cb_text_parse_dt = text_parse_dt
+  ; cb_binary_decode_dt = bin_decode_dt
+  ; cb_tables_identical = identical
+  ; cb_variants = n_variants
+  ; cb_completed = completed
+  ; cb_failed = failed
+  ; cb_sweep_dt = sweep_dt
+  ; cb_peak_worker_rss_kb = peak_rss
+  }
+
+let write_corpus_json path opts (cb : corpus_bench) =
+  let oc = Out_channel.open_text path in
+  let out fmt = Printf.fprintf oc fmt in
+  let rate dt = float_of_int cb.cb_events /. Float.max 1e-9 dt in
+  out "{\n";
+  out "  \"schema\": \"droidracer-corpus-bench/1\",\n";
+  out "  \"quick\": %b,\n" opts.quick;
+  out "  \"jobs\": %d,\n" opts.jobs;
+  out "  \"events\": %d,\n" cb.cb_events;
+  out "  \"text_bytes\": %d,\n" cb.cb_text_bytes;
+  out "  \"binary_bytes\": %d,\n" cb.cb_binary_bytes;
+  out "  \"size_ratio\": %.3f,\n"
+    (float_of_int cb.cb_text_bytes
+     /. Float.max 1.0 (float_of_int cb.cb_binary_bytes));
+  out "  \"text_parse_events_per_sec\": %.1f,\n" (rate cb.cb_text_parse_dt);
+  out "  \"binary_decode_events_per_sec\": %.1f,\n"
+    (rate cb.cb_binary_decode_dt);
+  out "  \"decode_speedup\": %.3f,\n"
+    (cb.cb_text_parse_dt /. Float.max 1e-9 cb.cb_binary_decode_dt);
+  out "  \"race_tables_identical\": %b,\n" cb.cb_tables_identical;
+  out "  \"corpus\": {\"variants\": %d, \"completed\": %d, \"failed\": %d, \
+       \"wall_seconds\": %.3f, \"apps_per_hour\": %.1f, \
+       \"peak_worker_rss_kb\": %.0f},\n"
+    cb.cb_variants cb.cb_completed cb.cb_failed cb.cb_sweep_dt
+    (float_of_int cb.cb_completed /. Float.max 1e-9 cb.cb_sweep_dt *. 3600.0)
+    cb.cb_peak_worker_rss_kb;
+  out "  \"stages\": [\n";
+  let codec_stages =
+    List.filter
+      (fun (name, _) -> String.length name >= 6 && String.sub name 0 6 = "codec_")
+      (List.rev !stages)
+  in
+  List.iteri
+    (fun i (name, dt) ->
+       out "    {\"name\": \"%s\", \"wall_seconds\": %.6f}%s\n"
+         (json_escape name) dt
+         (if i = List.length codec_stages - 1 then "" else ","))
+    codec_stages;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* {1 Supervision overhead}
 
    The same two applications swept under process isolation (forked
@@ -597,6 +813,21 @@ let microbenchmarks (runs : Experiments.app_run list) =
         (Staged.stage (fun () -> Wellformed.check medium))
     ]
   in
+  let codec_events =
+    let rev = ref [] in
+    ignore (Longtrace.generate ~events:10_000 (fun e -> rev := e :: !rev));
+    List.rev !rev
+  in
+  let encoded = Binfmt.encode_events_to_string codec_events in
+  let tests =
+    tests
+    @ [ Test.make ~name:"codec: binary encode (10k generated events)"
+          (Staged.stage (fun () ->
+             Binfmt.encode_events_to_string codec_events))
+      ; Test.make ~name:"codec: binary decode (10k generated events)"
+          (Staged.stage (fun () -> Binfmt.decode_string encoded))
+      ]
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -653,9 +884,17 @@ let () =
     (List.length specs)
     (if quick then " (open source only: --quick)" else "")
     opts.jobs;
+  section "Binary trace codec + corpus sweep";
+  (* The forking stages come first by necessity: forked workers are
+     only available before the first domain is spawned (see
+     [supervision_overhead]). *)
+  let corpus_bench = corpus_codec_stage ~quick ~jobs:opts.jobs in
+  (* Written as soon as it is measured, so the artefact survives a
+     failure in a later stage. *)
+  Option.iter
+    (fun path -> write_corpus_json path opts corpus_bench)
+    opts.corpus_json;
   section "Supervision overhead: isolated vs cooperative workers";
-  (* First stage by necessity: forked workers are only available before
-     the first domain is spawned (see [supervision_overhead]). *)
   supervision_overhead ~jobs:opts.jobs;
   section "Motivating example (Figures 1-4)";
   Table.print (Experiments.music_player_summary ());

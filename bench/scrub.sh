@@ -17,6 +17,8 @@ exec sed -E \
   -e 's/\([0-9]+ jobs\)/(N jobs)/' \
   -e 's/[0-9.]+ Mev\/s/R Mev\/s/' \
   -e 's/[0-9.]+ kev\/s/R kev\/s/' \
+  -e 's/[0-9.]+ apps\/hour/R apps\/hour/' \
+  -e 's/[0-9]+ KiB/M KiB/' \
   -e 's/ +/ /g' \
   -e 's/-+/-/g' \
   -e 's/[[:space:]]+$//' \

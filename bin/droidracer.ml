@@ -6,12 +6,16 @@
    - [trace APP]     generate a trace from a modeled application
    - [explore APP]   systematic UI exploration + race detection
    - [verify APP]    detect and verify races via schedule perturbation
-   - [corpus]        regenerate Tables 2 and 3 for the paper's corpus
+   - [corpus]        regenerate Tables 2 and 3 for the paper's corpus,
+                     or sweep a directory of trace files (--trace-dir)
    - [synth FILE]    generate an arbitrarily long admissible trace
+   - [convert A B]   convert a trace between the text and binary formats
+   - [gencorpus DIR] generate a corpus of app variants with planted races
    - [lifecycle]     print the Figure 8 activity lifecycle *)
 
 module Trace = Droidracer_trace.Trace
 module Trace_io = Droidracer_trace.Trace_io
+module Binfmt = Droidracer_trace.Binfmt
 module Wellformed = Droidracer_trace.Wellformed
 module Step = Droidracer_semantics.Step
 module Happens_before = Droidracer_core.Happens_before
@@ -27,6 +31,7 @@ module Bug_apps = Droidracer_corpus.Bug_apps
 module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
 module Longtrace = Droidracer_corpus.Longtrace
+module Vargen = Droidracer_corpus.Vargen
 module Explorer = Droidracer_explorer.Explorer
 module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
@@ -541,6 +546,7 @@ let validate_cmd =
                   | Wellformed.Violation e ->
                     Printf.sprintf "\"%s\"" (Wellformed.rule_name e.Wellformed.rule)
                   | Wellformed.Syntax _ -> "\"syntax\""
+                  | Wellformed.Binary _ -> "\"binary\""
                   | Wellformed.Io _ -> "\"io\""
                 in
                 Printf.bprintf buf
@@ -853,14 +859,40 @@ let corpus_cmd =
                 sweep.  The per-app heartbeat line is always printed \
                 to stderr.")
   in
+  let trace_dir =
+    Arg.(value & opt (some dir) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:
+               "Sweep the pre-recorded trace files under $(docv) (every \
+                $(b,.trace) and $(b,.drt) file, text or binary — the \
+                format is sniffed per file) instead of the modeled \
+                application catalog, with the same supervision: \
+                budgets, retries, $(b,--isolate), $(b,--journal), \
+                $(b,--progress-out) and fault injection all apply.  \
+                See $(b,gencorpus) for producing such a directory.")
+  in
+  let races_json =
+    Arg.(value & opt (some string) None
+         & info [ "races-json" ] ~docv:"FILE"
+             ~doc:
+               "With $(b,--trace-dir): write the per-file race table \
+                (schema droidracer-races/1, race counts and racing \
+                locations per trace) as JSON to $(docv).")
+  in
   let run verify only open_source jobs closure budget inject_faults
       fault_classes failures_json isolate max_mem journal_path resume
-      max_retries backoff progress_out telemetry =
+      max_retries backoff progress_out trace_dir races_json telemetry =
     with_telemetry telemetry @@ fun () ->
     if max_mem <> None && not isolate then
       or_die (Error "--max-mem requires --isolate");
     if resume && journal_path = None then
       or_die (Error "--resume requires --journal");
+    if races_json <> None && trace_dir = None then
+      or_die (Error "--races-json requires --trace-dir");
+    if trace_dir <> None && (verify || only <> None || open_source) then
+      or_die
+        (Error "--trace-dir is incompatible with --verify, --app and \
+                --open-source");
     let specs =
       match only with
       | None -> if open_source then Catalog.open_source else Catalog.all
@@ -897,17 +929,33 @@ let corpus_cmd =
     in
     let retry = { Proc_pool.max_retries; backoff_base = backoff } in
     let progress_chan = Option.map open_out progress_out in
+    let files =
+      match trace_dir with
+      | None -> []
+      | Some dir ->
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f ->
+               Filename.check_suffix f ".trace" || Filename.check_suffix f ".drt")
+          |> List.sort String.compare
+          |> List.map (Filename.concat dir)
+        in
+        if files = [] then
+          or_die
+            (Error (Printf.sprintf "no .trace or .drt files under %s" dir));
+        files
+    in
+    let total =
+      if trace_dir = None then List.length specs else List.length files
+    in
     let progress =
       Progress.create ?out:progress_chan
         ~heartbeat:(fun line -> Printf.eprintf "%s\n%!" line)
         ~mode:(if isolate then "isolated" else "cooperative")
-        ~jobs ~total:(List.length specs) ()
+        ~jobs ~total ()
     in
-    let sweep () =
-      Supervisor.run_catalog ~jobs ~specs ~config:(detector_config ~closure)
-        ~budget ~retry ~mode ?journal ~progress ()
-    in
-    let outcomes =
+    let config = detector_config ~closure in
+    let with_sweep sweep =
       Fun.protect
         ~finally:(fun () ->
           Option.iter Journal.close journal;
@@ -918,41 +966,78 @@ let corpus_cmd =
              Supervisor.with_faults ~classes:fault_classes ~seed sweep
            | None -> sweep ())
     in
-    Option.iter
-      (fun path -> Printf.eprintf "wrote progress JSONL to %s\n%!" path)
-      progress_out;
-    let runs = Supervisor.completed outcomes in
-    let failed = Supervisor.failures outcomes in
-    if runs <> [] then begin
-      Table.print (Experiments.table2 runs);
-      print_newline ();
-      Table.print (Experiments.table3 ~verify runs);
-      print_newline ();
-      Table.print (Experiments.performance_table runs)
-    end;
-    if failed <> [] then begin
-      if runs <> [] then print_newline ();
-      Table.print (Supervisor.failure_table failed)
-    end;
-    Option.iter
-      (fun path ->
-         Out_channel.with_open_text path (fun oc ->
-           Out_channel.output_string oc
-             (Supervisor.failures_json_string failed));
-         Printf.eprintf "wrote failure report to %s\n%!" path)
-      failures_json
+    let report_progress_path () =
+      Option.iter
+        (fun path -> Printf.eprintf "wrote progress JSONL to %s\n%!" path)
+        progress_out
+    in
+    let write_failures failed =
+      Option.iter
+        (fun path ->
+           Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc
+               (Supervisor.failures_json_string failed));
+           Printf.eprintf "wrote failure report to %s\n%!" path)
+        failures_json
+    in
+    match trace_dir with
+    | Some _ ->
+      let outcomes =
+        with_sweep (fun () ->
+          Supervisor.run_files ~jobs ~config ~budget ~retry ~mode ?journal
+            ~progress files)
+      in
+      report_progress_path ();
+      let reports = Supervisor.file_completed outcomes in
+      let failed = Supervisor.file_failures outcomes in
+      if reports <> [] then Table.print (Supervisor.file_table reports);
+      if failed <> [] then begin
+        if reports <> [] then print_newline ();
+        Table.print (Supervisor.failure_table failed)
+      end;
+      Option.iter
+        (fun path ->
+           Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc
+               (Supervisor.files_json_string outcomes));
+           Printf.eprintf "wrote race table to %s\n%!" path)
+        races_json;
+      write_failures failed;
+      if failed <> [] then exit 3
+    | None ->
+      let outcomes =
+        with_sweep (fun () ->
+          Supervisor.run_catalog ~jobs ~specs ~config ~budget ~retry ~mode
+            ?journal ~progress ())
+      in
+      report_progress_path ();
+      let runs = Supervisor.completed outcomes in
+      let failed = Supervisor.failures outcomes in
+      if runs <> [] then begin
+        Table.print (Experiments.table2 runs);
+        print_newline ();
+        Table.print (Experiments.table3 ~verify runs);
+        print_newline ();
+        Table.print (Experiments.performance_table runs)
+      end;
+      if failed <> [] then begin
+        if runs <> [] then print_newline ();
+        Table.print (Supervisor.failure_table failed)
+      end;
+      write_failures failed
   in
   Cmd.v
     (Cmd.info "corpus"
        ~doc:
          "Regenerate Tables 2 and 3 over the paper's application corpus \
           (supervised: misbehaving applications become failure rows, not \
-          crashes).")
+          crashes), or — with $(b,--trace-dir) — sweep a directory of \
+          pre-recorded trace files under the same supervision.")
     Term.(
       const run $ verify $ only $ open_source $ jobs_arg $ hb_engine_arg
       $ budget_term $ inject_faults $ fault_classes $ failures_json $ isolate
       $ max_mem $ journal $ resume $ max_retries $ backoff $ progress_out
-      $ telemetry_term)
+      $ trace_dir $ races_json $ telemetry_term)
 
 let synth_cmd =
   let out =
@@ -981,12 +1066,25 @@ let synth_cmd =
              ~doc:"Size of each memory-location pool (private and \
                    shared).")
   in
-  let run out events seed loopers locations =
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:
+               "Emit the binary trace format of the codec instead of the \
+                text line format (the generator's identifier pools are \
+                written as the up-front table).  Every reader sniffs the \
+                format, so no flag is needed on the consuming side.")
+  in
+  let run out events seed loopers locations binary =
     let config =
       { Longtrace.default_config with Longtrace.seed; loopers; locations }
     in
-    let n = Longtrace.write ~config ~events out in
-    Printf.printf "wrote %d events to %s\n" n out
+    let n =
+      if binary then Longtrace.write_binary ~config ~events out
+      else Longtrace.write ~config ~events out
+    in
+    Printf.printf "wrote %d events to %s (%s)\n" n out
+      (if binary then "binary" else "text")
   in
   Cmd.v
     (Cmd.info "synth"
@@ -994,7 +1092,156 @@ let synth_cmd =
          "Generate an arbitrarily long admissible trace (streamed to \
           disk, constant memory) — the workload for the streaming \
           engine and the CI memory gate.")
-    Term.(const run $ out $ events $ seed $ loopers $ locations)
+    Term.(const run $ out $ events $ seed $ loopers $ locations $ binary)
+
+let convert_cmd =
+  let src =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SRC" ~doc:"Source trace (text or binary).")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"DST" ~doc:"Destination trace file.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("text", `Text); ("binary", `Binary) ])
+          `Auto
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:
+            "Target format: $(b,text), $(b,binary), or $(b,auto) (the \
+             opposite of the sniffed source format).")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:
+               "Stream the source through the Figure 5 admissibility \
+                checker before converting; on rejection nothing is \
+                written and the exit status is 1.")
+  in
+  let sniff_binary path =
+    In_channel.with_open_bin path (fun ic ->
+      let len = String.length Binfmt.magic in
+      let buf = Bytes.create len in
+      let rec fill off =
+        if off >= len then len
+        else
+          match In_channel.input ic buf off (len - off) with
+          | 0 -> off
+          | n -> fill (off + n)
+      in
+      fill 0 = len && Binfmt.is_magic (Bytes.to_string buf))
+  in
+  let remove_partial dst =
+    if Sys.file_exists dst then Sys.remove dst
+  in
+  let run src dst target validate =
+    let src_binary = sniff_binary src in
+    let to_binary =
+      match target with
+      | `Binary -> true
+      | `Text -> false
+      | `Auto -> not src_binary
+    in
+    if validate then begin
+      match Wellformed.check_file src with
+      | Ok _ -> ()
+      | Error failure ->
+        Format.eprintf "droidracer: %s: REJECTED: %a@." src
+          Wellformed.pp_failure failure;
+        exit 1
+    end;
+    let result =
+      if to_binary then
+        Binfmt.write_file dst (fun emit ->
+          Trace_io.fold_events src ~init:0 ~f:(fun n ~line:_ event ->
+            emit event;
+            n + 1))
+      else
+        Out_channel.with_open_bin dst (fun oc ->
+          Trace_io.fold_events src ~init:0 ~f:(fun n ~line:_ event ->
+            Out_channel.output_string oc
+              (Format.asprintf "%a\n" Trace_io.print_event event);
+            n + 1))
+    in
+    match result with
+    | Ok n ->
+      Printf.printf "converted %d events: %s (%s) -> %s (%s)\n" n src
+        (if src_binary then "binary" else "text")
+        dst
+        (if to_binary then "binary" else "text")
+    | Error e ->
+      remove_partial dst;
+      Format.eprintf "droidracer: %s: %a@." src Trace_io.pp_read_error e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace between the text line format and the versioned \
+          binary format (streaming, constant memory).  The source format \
+          is sniffed from its first bytes.")
+    Term.(const run $ src $ dst $ target $ validate)
+
+let gencorpus_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"Output directory (created if missing).")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N" ~doc:"Number of variants to derive.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:
+               "Derivation seed; the whole corpus is a pure function of \
+                (seed, count, events) and regenerates bit-identically.")
+  in
+  let events =
+    Arg.(value & opt int 4000
+         & info [ "events" ] ~docv:"N"
+             ~doc:
+               "Target events per variant (each variant draws a length \
+                around this midpoint, floored so its full planting \
+                window is emitted).")
+  in
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:"Write variants in the binary trace format (.drt) \
+                   instead of the text format (.trace).")
+  in
+  let run dir count seed events binary =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let variants = Vargen.variants ~seed ~events ~count () in
+    let total =
+      List.fold_left
+        (fun acc v ->
+           ignore (Vargen.write ~dir ~binary v);
+           acc + v.Vargen.v_events)
+        0 variants
+    in
+    let manifest = Filename.concat dir "manifest.json" in
+    Out_channel.with_open_bin manifest (fun oc ->
+      Out_channel.output_string oc
+        (Vargen.manifest_json_string ~binary variants));
+    Printf.printf "wrote %d variants (%d events, %s) and %s\n" count total
+      (if binary then "binary" else "text")
+      manifest
+  in
+  Cmd.v
+    (Cmd.info "gencorpus"
+       ~doc:
+         "Generate a corpus of application-trace variants with planted \
+          ground-truth races, plus a manifest.json recall oracle — the \
+          input for $(b,corpus --trace-dir) sweeps and the CI corpus \
+          gate.")
+    Term.(const run $ dir $ count $ seed $ events $ binary)
 
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in
@@ -1020,5 +1267,7 @@ let () =
           ; verify_cmd
           ; corpus_cmd
           ; synth_cmd
+          ; convert_cmd
+          ; gencorpus_cmd
           ; lifecycle_cmd
           ]))

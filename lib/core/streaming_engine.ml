@@ -85,14 +85,18 @@ type loc_state =
 type t =
   { cfg : config
   ; mutable next_slot : int
+  ; interner : Ident.Interner.t
+        (* the shared ident table (lib/trace): task, lock and location
+           keys below are interned small ints, not strings, so lookups
+           in the per-event hot path hash an int instead of a string *)
   ; threads : (int, thread_ctx) Hashtbl.t
   ; fork_clocks : (int, Vc.t) Hashtbl.t
   ; exit_clocks : (int, Vc.t) Hashtbl.t
   ; attach_clocks : (int, Vc.t) Hashtbl.t
-  ; lock_clocks : (string, Vc.t) Hashtbl.t
-  ; enable_clocks : (string, Vc.t) Hashtbl.t
-  ; posts : (string, pending_post) Hashtbl.t
-  ; locations : (string, loc_state) Hashtbl.t
+  ; lock_clocks : (int, Vc.t) Hashtbl.t
+  ; enable_clocks : (int, Vc.t) Hashtbl.t
+  ; posts : (int, pending_post) Hashtbl.t
+  ; locations : (int, loc_state) Hashtbl.t
   ; mutable races : Race.t list
   ; mutable events : int
   ; mutable fast_path : int
@@ -110,6 +114,7 @@ type t =
 let create ?(config = default_config) () =
   { cfg = config
   ; next_slot = 0
+  ; interner = Ident.Interner.create ()
   ; threads = Hashtbl.create 16
   ; fork_clocks = Hashtbl.create 8
   ; exit_clocks = Hashtbl.create 8
@@ -237,7 +242,7 @@ let sweep t =
   end
 
 let loc_state t location =
-  let key = Location.to_string location in
+  let key = Ident.Interner.intern t.interner (Location.to_string location) in
   match Hashtbl.find_opt t.locations key with
   | Some l -> l
   | None ->
@@ -323,7 +328,7 @@ let feed t ~position (e : Trace.event) =
      Hashtbl.replace t.attach_clocks (Thread_id.to_int e.thread) c.clock
    | Operation.Loop_on_queue -> c.loop_clock <- Some c.clock
    | Operation.Post { task; target; flavour } ->
-     let key = Task_id.to_string task in
+     let key = Ident.Interner.intern t.interner (Task_id.to_string task) in
      (* ENABLE-*: the post happens after the task's enable (one post
         per task: the enable clock is consumed). *)
      (match Hashtbl.find_opt t.enable_clocks key with
@@ -351,10 +356,14 @@ let feed t ~position (e : Trace.event) =
        | None -> Vc.empty
      in
      let clock = ref (Vc.merge base c.folded_ends) in
-     (match Hashtbl.find_opt t.posts (Task_id.to_string p) with
+     (match
+        Hashtbl.find_opt t.posts
+          (Ident.Interner.intern t.interner (Task_id.to_string p))
+      with
       | Some post ->
         (* Unique renaming: one begin per task, the post is consumed. *)
-        Hashtbl.remove t.posts (Task_id.to_string p);
+        Hashtbl.remove t.posts
+          (Ident.Interner.intern t.interner (Task_id.to_string p));
         clock := Vc.merge !clock post.p_clock;
         (* FIFO and NOPRE against the windowed completed tasks of this
            thread; evicted ones were already folded into the base. *)
@@ -425,11 +434,14 @@ let feed t ~position (e : Trace.event) =
         | Some vc -> vc
         | None -> Vc.empty)
    | Operation.Acquire l ->
-     (match Hashtbl.find_opt t.lock_clocks (Lock_id.to_string l) with
+     (match
+        Hashtbl.find_opt t.lock_clocks
+          (Ident.Interner.intern t.interner (Lock_id.to_string l))
+      with
       | Some vc -> c.clock <- Vc.merge c.clock vc
       | None -> ())
    | Operation.Release l ->
-     let key = Lock_id.to_string l in
+     let key = Ident.Interner.intern t.interner (Lock_id.to_string l) in
      let merged =
        match Hashtbl.find_opt t.lock_clocks key with
        | Some vc -> Vc.merge vc c.clock
@@ -437,7 +449,9 @@ let feed t ~position (e : Trace.event) =
      in
      Hashtbl.replace t.lock_clocks key merged
    | Operation.Enable p ->
-     Hashtbl.replace t.enable_clocks (Task_id.to_string p) c.clock
+     Hashtbl.replace t.enable_clocks
+       (Ident.Interner.intern t.interner (Task_id.to_string p))
+       c.clock
    | Operation.Cancel _ -> ()
    | Operation.Read m -> record_access t c position m false e.thread
    | Operation.Write m -> record_access t c position m true e.thread);

@@ -11,6 +11,7 @@ type config =
   ; accesses_per_task : int
   ; fork_every : int
   ; lock_every : int
+  ; planted : int
   ; seed : int
   }
 
@@ -21,8 +22,16 @@ let default_config =
   ; accesses_per_task = 4
   ; fork_every = 97
   ; lock_every = 13
+  ; planted = 0
   ; seed = 42
   }
+
+let planted_location j =
+  Location.make ~cls:"Planted" ~field:(Printf.sprintf "g%d" j) ~obj:0
+
+let planted_locations config =
+  List.init (max 0 config.planted) (fun j ->
+    Location.to_string (planted_location j))
 
 (* A tiny deterministic PRNG (xorshift), so the trace is a pure
    function of the config — [Random] would tie the corpus to the
@@ -86,12 +95,26 @@ let generate ?(config = default_config) ~events emit =
     push 0 (Operation.Post { task = p; target = Thread_id.make looper
                            ; flavour = Operation.Immediate });
     push looper (Operation.Begin_task p);
-    let with_lock = config.lock_every > 0 && it mod config.lock_every = 0 in
+    (* Ground-truth planting: location [Planted.g<j>@0] is written by
+       exactly the tasks of iterations [j+1] and [j+1+planted], which
+       run on different loopers whenever [planted mod loopers <> 0]
+       (the looper index is [1 + it mod loopers]).  Locks are suppressed
+       for the whole planting window, and nothing else ever orders two
+       task bodies on distinct loopers (posts chain only through the
+       driver, FIFO and the streaming fold are per-thread, workers never
+       touch [Planted]), so each planted pair is a guaranteed race. *)
+    let planting = config.planted > 0 && it <= 2 * config.planted in
+    let with_lock =
+      (not planting) && config.lock_every > 0 && it mod config.lock_every = 0
+    in
     let l = Lock_id.make (Printf.sprintf "lock%d" (rand config.locks)) in
     if with_lock then push looper (Operation.Acquire l);
     for _ = 1 to config.accesses_per_task do
       access looper
     done;
+    if planting then
+      push looper
+        (Operation.Write (planted_location ((it - 1) mod config.planted)));
     if with_lock then push looper (Operation.Release l);
     push looper (Operation.End_task p);
     (* Occasionally fork a worker that races with the tasks, and join
@@ -112,6 +135,30 @@ let generate ?(config = default_config) ~events emit =
     end
   done;
   !emitted
+
+(* The ident universe of a config, for the binary encoder's up-front
+   table.  Completeness is optional (unseen idents get DEF records), but
+   listing the pools here keeps generated files dense. *)
+let binary_idents config =
+  let idents = ref [ "job"; "Obj" ] in
+  let add s = idents := s :: !idents in
+  if config.planted > 0 then begin
+    add "Planted";
+    for j = 0 to config.planted - 1 do
+      add (Printf.sprintf "g%d" j)
+    done
+  end;
+  for k = 0 to config.locks - 1 do
+    add (Printf.sprintf "lock%d" k)
+  done;
+  for r = 0 to config.locations - 1 do
+    add (Printf.sprintf "s%d" r)
+  done;
+  List.rev !idents
+
+let write_binary ?(config = default_config) ~events path =
+  Droidracer_trace.Binfmt.write_file ~idents:(binary_idents config) path
+    (fun emit -> generate ~config ~events emit)
 
 let write ?config ~events path =
   let oc = Out_channel.open_text path in

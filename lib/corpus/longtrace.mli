@@ -28,10 +28,24 @@ type config =
   ; accesses_per_task : int
   ; fork_every : int  (** iterations between worker forks; 0 disables *)
   ; lock_every : int  (** iterations between locked tasks; 0 disables *)
+  ; planted : int
+        (** ground-truth races: location [Planted.g<j>@0] ([0 <= j <
+            planted]) is written by exactly the tasks of iterations
+            [j+1] and [j+1+planted] and by nothing else, with locking
+            suppressed during the planting window.  When [planted mod
+            loopers <> 0] the two writers run on different loopers and
+            nothing orders them, so every planted location is a
+            guaranteed detectable race (provided [events] covers the
+            first [2*planted] iterations).  0 disables. *)
   ; seed : int
   }
 
 val default_config : config
+
+val planted_locations : config -> string list
+(** The {!Ident.Location.to_string} forms of the planted race
+    locations, in order ([[]] when [planted = 0]) — the recall oracle
+    for corpus gates. *)
 
 val generate : ?config:config -> events:int -> (Trace.event -> unit) -> int
 (** [generate ~events emit] calls [emit] for each event, stopping after
@@ -42,3 +56,8 @@ val generate : ?config:config -> events:int -> (Trace.event -> unit) -> int
 val write : ?config:config -> events:int -> string -> int
 (** Streams a generated trace to the named file in the
     {!Trace_io} line format; returns the event count. *)
+
+val write_binary : ?config:config -> events:int -> string -> int
+(** Streams a generated trace to the named file in the {!Binfmt}
+    binary format (the config's ident pools are emitted as the up-front
+    table); returns the event count. *)

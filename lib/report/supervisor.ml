@@ -601,3 +601,339 @@ let analyze ?(config = Detector.default_config) ?(jobs = 1)
     Obs.add "supervisor.timeouts";
     fail (Timed_out t)
   | exception exn -> fail (Crashed (Printexc.to_string exn))
+
+(* {1 Trace-file sweeps} *)
+
+type file_report =
+  { fr_file : string
+  ; fr_name : string
+  ; fr_events : int
+  ; fr_races : int
+  ; fr_distinct : int
+  ; fr_engine : string
+  ; fr_elapsed : float
+  ; fr_locations : string list
+  }
+
+type file_outcome =
+  | File_completed of file_report
+  | File_failed of failure
+
+(* The sweep key: basename without extension, so a binary sweep of
+   variant-0000.drt and a text sweep of variant-0000.trace journal and
+   report under the same name — which is what lets a corpus gate diff
+   the two race tables row by row. *)
+let file_key path = Filename.remove_extension (Filename.basename path)
+
+(* The file analogue of [attempt_app]: load (either trace format — the
+   loader sniffs the magic), validate, analyze.  The same injected
+   faults apply, keyed by the sweep name, so the degradation paths of a
+   file sweep are exactly as testable as a catalog sweep's. *)
+let attempt_file ~engine ~config ~budget ~attempt path =
+  let name = file_key path in
+  Obs.with_span "supervisor.file"
+    ~args:[ ("file", name); ("attempt", string_of_int attempt) ]
+  @@ fun () ->
+  let deadline =
+    Option.map
+      (fun t -> (Unix.gettimeofday () +. t, t))
+      budget.timeout_seconds
+  in
+  if injected Timeout_fault ~attempt name then
+    raise
+      (Timed_out_exn (Option.value budget.timeout_seconds ~default:0.0));
+  if injected Oom_fault ~attempt name then trigger_oom ();
+  if injected Hang_fault ~attempt name then hang ~deadline;
+  if injected Parse_fault ~attempt name then
+    raise
+      (Rejected_exn
+         (Printf.sprintf "%s: %s" name
+            (Trace_io.parse_error_message
+               { Trace_io.pe_line = 1
+               ; pe_column = 1
+               ; pe_token = Some "\xffinjected"
+               ; pe_message = "injected parse fault: expected a thread id like t0"
+               })));
+  let trace =
+    match Obs.with_span "supervisor.load" (fun () -> Trace_io.load path) with
+    | Ok trace -> trace
+    | Error msg -> raise (Rejected_exn (Printf.sprintf "%s: %s" name msg))
+  in
+  checkpoint ~deadline;
+  if injected Reject_fault ~attempt name then
+    raise
+      (Rejected_exn
+         (Printf.sprintf
+            "%s: observed trace rejected: line 1: [fifo-violation] injected \
+             validator reject"
+            name));
+  validate_observed name trace;
+  checkpoint ~deadline;
+  let config = budgeted_config ~budget ~events:(Trace.length trace) config in
+  engine := configured_engine config;
+  if injected Crash_fault ~attempt name then
+    failwith "injected task exception";
+  let report =
+    Obs.with_span "supervisor.analyze" (fun () -> Detector.analyze ~config trace)
+  in
+  checkpoint ~deadline;
+  let locations =
+    List.sort_uniq String.compare
+      (List.map
+         (fun classified ->
+            Ident.Location.to_string (Race.location classified.Detector.race))
+         report.Detector.all_races)
+  in
+  { fr_file = path
+  ; fr_name = name
+  ; fr_events = Trace.length trace
+  ; fr_races = List.length report.Detector.all_races
+  ; fr_distinct = List.length report.Detector.distinct_races
+  ; fr_engine = !engine
+  ; fr_elapsed = report.Detector.elapsed_seconds
+  ; fr_locations = locations
+  }
+
+let attempt_file_result ~config ~budget ~attempt path =
+  let engine = ref (configured_engine config) in
+  let err reason = Error { ae_reason = reason; ae_engine = !engine } in
+  match attempt_file ~engine ~config ~budget ~attempt path with
+  | report -> Ok report
+  | exception Rejected_exn msg ->
+    Obs.add "ingest.rejected";
+    err (Rejected msg)
+  | exception Timed_out_exn t ->
+    Obs.add "supervisor.timeouts";
+    err (Timed_out t)
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception exn -> err (Crashed (Printexc.to_string exn))
+
+let run_file ?(config = Detector.default_config) ?(budget = no_budget)
+    ?(retry = Proc_pool.default_retry) path =
+  let name = file_key path in
+  let started = Unix.gettimeofday () in
+  let once attempt =
+    match attempt_file_result ~config ~budget ~attempt path with
+    | r -> r
+    | exception Out_of_memory ->
+      Error
+        { ae_reason = Crashed "out of memory"
+        ; ae_engine = configured_engine config
+        }
+    | exception Stack_overflow ->
+      Error
+        { ae_reason = Crashed "stack overflow"
+        ; ae_engine = configured_engine config
+        }
+  in
+  let fail ae retries backoff =
+    File_failed
+      { f_app = name
+      ; f_reason = ae.ae_reason
+      ; f_engine = ae.ae_engine
+      ; f_elapsed = Unix.gettimeofday () -. started
+      ; f_retries = retries
+      ; f_backoff = backoff
+      }
+  in
+  let rec go attempt backoff =
+    match once attempt with
+    | Ok report -> File_completed report
+    | Error ae ->
+      if retryable ae.ae_reason && attempt < retry.Proc_pool.max_retries
+      then begin
+        Obs.add "supervisor.retries";
+        let delay = Proc_pool.backoff_delay retry ~attempt:(attempt + 1) in
+        if delay > 0.0 then Unix.sleepf delay;
+        go (attempt + 1) (backoff +. delay)
+      end
+      else fail ae attempt backoff
+  in
+  go 0 0.0
+
+let file_outcome_of_row ~engine path (row : _ Proc_pool.row) =
+  match row.Proc_pool.r_result with
+  | Proc_pool.Value (Ok report) -> File_completed report
+  | Proc_pool.Value (Error ae) ->
+    File_failed
+      { f_app = file_key path
+      ; f_reason = ae.ae_reason
+      ; f_engine = ae.ae_engine
+      ; f_elapsed = row.Proc_pool.r_elapsed
+      ; f_retries = row.Proc_pool.r_retries
+      ; f_backoff = row.Proc_pool.r_backoff
+      }
+  | Proc_pool.Died death ->
+    File_failed
+      { f_app = file_key path
+      ; f_reason = reason_of_death death
+      ; f_engine = engine
+      ; f_elapsed = row.Proc_pool.r_elapsed
+      ; f_retries = row.Proc_pool.r_retries
+      ; f_backoff = row.Proc_pool.r_backoff
+      }
+
+(* File outcomes are plain data — no closures to marshal, unlike app
+   outcomes, whose reports can capture classifier functions. *)
+let record_file_outcome journal ~app outcome =
+  match journal with
+  | None -> ()
+  | Some j ->
+    Journal.append j ~app
+      ~payload:(Marshal.to_string (outcome : file_outcome) [])
+
+let journalled_file_outcomes journal =
+  match journal with
+  | None -> Hashtbl.create 0
+  | Some j ->
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun (app, payload) ->
+         match (Marshal.from_string payload 0 : file_outcome) with
+         | outcome ->
+           if not (Hashtbl.mem table app) then Hashtbl.add table app outcome
+         | exception _ -> ())
+      (Journal.prior j);
+    table
+
+(* Unlike catalog rows, completed file rows carry their own engine
+   attribution ([fr_engine], budget fallbacks applied), so no sweep-wide
+   engine is threaded through here. *)
+let report_file_progress progress ?(resumed = false) outcome =
+  match progress with
+  | None -> ()
+  | Some p ->
+    (match outcome with
+     | File_completed r ->
+       Progress.app_done p ~app:r.fr_name ~outcome:"completed"
+         ~engine:r.fr_engine ~events:r.fr_events
+         ~elapsed_seconds:r.fr_elapsed ~resumed ()
+     | File_failed f ->
+       Progress.app_done p ~app:f.f_app ~outcome:(reason_label f.f_reason)
+         ~engine:f.f_engine ~events:0 ~elapsed_seconds:f.f_elapsed ~resumed ())
+
+let run_files ?(jobs = 1) ?(config = Detector.default_config)
+    ?(budget = no_budget) ?(retry = Proc_pool.default_retry)
+    ?(mode = Cooperative) ?journal ?progress paths =
+  Obs.with_span "supervisor.files" @@ fun () ->
+  let prior = journalled_file_outcomes journal in
+  let resumed path = Hashtbl.find_opt prior (file_key path) in
+  let to_run = List.filter (fun path -> resumed path = None) paths in
+  let n_resumed = List.length paths - List.length to_run in
+  if n_resumed > 0 then Obs.add ~n:n_resumed "journal.resumed";
+  let engine = configured_engine config in
+  List.iter
+    (fun path ->
+       match resumed path with
+       | Some outcome -> report_file_progress progress ~resumed:true outcome
+       | None -> ())
+    paths;
+  let fresh = Hashtbl.create 16 in
+  let record path outcome =
+    record_file_outcome journal ~app:(file_key path) outcome;
+    report_file_progress progress outcome
+  in
+  (match mode with
+   | Cooperative ->
+     List.iter2
+       (fun path outcome -> Hashtbl.replace fresh (file_key path) outcome)
+       to_run
+       (Par_pool.parallel_map ~jobs
+          (fun path ->
+             let outcome = run_file ~config ~budget ~retry path in
+             record path outcome;
+             outcome)
+          to_run)
+   | Isolated { max_mem_mib } ->
+     let paths_arr = Array.of_list to_run in
+     let limits =
+       { Proc_pool.deadline_seconds = budget.timeout_seconds; max_mem_mib }
+     in
+     let rows =
+       Proc_pool.map ~jobs ~limits ~retry
+         ~should_retry:(function
+           | Ok _ -> false
+           | Error ae -> retryable ae.ae_reason)
+         ~on_row:(fun idx row ->
+           record paths_arr.(idx)
+             (file_outcome_of_row ~engine paths_arr.(idx) row))
+         (fun ~attempt path -> attempt_file_result ~config ~budget ~attempt path)
+         to_run
+     in
+     List.iteri
+       (fun idx row ->
+          Hashtbl.replace fresh
+            (file_key paths_arr.(idx))
+            (file_outcome_of_row ~engine paths_arr.(idx) row))
+       rows);
+  (match progress with Some p -> Progress.finish p | None -> ());
+  List.map
+    (fun path ->
+       match resumed path with
+       | Some outcome -> outcome
+       | None ->
+         (match Hashtbl.find_opt fresh (file_key path) with
+          | Some outcome -> outcome
+          | None -> assert false))
+    paths
+
+let file_completed outcomes =
+  List.filter_map
+    (function File_completed r -> Some r | File_failed _ -> None)
+    outcomes
+
+let file_failures outcomes =
+  List.filter_map
+    (function File_failed f -> Some f | File_completed _ -> None)
+    outcomes
+
+let file_table reports =
+  let table =
+    Table.create ~title:"Corpus sweep: trace files"
+      ~columns:[ "File"; "Events"; "Races"; "Distinct"; "Engine"; "Elapsed" ]
+  in
+  List.iter
+    (fun r ->
+       Table.add_row table
+         [ r.fr_name
+         ; string_of_int r.fr_events
+         ; string_of_int r.fr_races
+         ; string_of_int r.fr_distinct
+         ; r.fr_engine
+         ; Printf.sprintf "%.3fs" r.fr_elapsed
+         ])
+    reports;
+  table
+
+(* The race-table artefact of a file sweep.  [name] deliberately strips
+   the extension so a binary sweep and a text sweep of the same corpus
+   differ only in [file] (and timings) — the corpus gate's equality
+   check relies on that. *)
+let files_json_string outcomes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"droidracer-races/1\",\"files\":[";
+  List.iteri
+    (fun i outcome ->
+       if i > 0 then Buffer.add_char buf ',';
+       match outcome with
+       | File_completed r ->
+         Printf.bprintf buf
+           "{\"name\":\"%s\",\"file\":\"%s\",\"status\":\"completed\",\"events\":%d,\"races\":%d,\"distinct_races\":%d,\"engine\":\"%s\",\"elapsed_seconds\":%.6f,\"locations\":["
+           (json_escape r.fr_name) (json_escape r.fr_file) r.fr_events
+           r.fr_races r.fr_distinct (json_escape r.fr_engine) r.fr_elapsed;
+         List.iteri
+           (fun j loc ->
+              if j > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf "\"%s\"" (json_escape loc))
+           r.fr_locations;
+         Buffer.add_string buf "]}"
+       | File_failed f ->
+         Printf.bprintf buf
+           "{\"name\":\"%s\",\"status\":\"%s\",\"reason\":\"%s\",\"engine\":\"%s\",\"elapsed_seconds\":%.6f,\"retries\":%d}"
+           (json_escape f.f_app)
+           (reason_label f.f_reason)
+           (json_escape (reason_detail f.f_reason))
+           (json_escape f.f_engine) f.f_elapsed f.f_retries)
+    outcomes;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

@@ -225,3 +225,73 @@ val analyze :
 (** Supervised single-trace analysis: the ingest gate, budgets and
     exception capture of {!run_app} around {!Detector.analyze} (no
     retry — a single analysis is deterministic). *)
+
+(** {1 Trace-file sweeps}
+
+    The catalog drivers above build and run application models; these
+    drivers instead sweep {e pre-recorded trace files} — a directory of
+    generated variants ({!Droidracer_corpus.Vargen}), a crawl's capture
+    archive — with the same supervision: ingest gate, budgets with
+    engine-ladder degradation, retries, fault injection, journaling,
+    progress, and cooperative or process-isolated execution.  Files may
+    be in either trace format; {!Trace_io.load} sniffs the magic. *)
+
+type file_report =
+  { fr_file : string  (** the path as given *)
+  ; fr_name : string  (** basename without extension — the sweep key *)
+  ; fr_events : int
+  ; fr_races : int  (** access-pair races ({!Detector.report} [all_races]) *)
+  ; fr_distinct : int  (** distinct racing locations *)
+  ; fr_engine : string  (** closure engine run, budget fallbacks applied *)
+  ; fr_elapsed : float  (** analysis seconds ({!Detector.report}) *)
+  ; fr_locations : string list
+        (** sorted, de-duplicated {!Ident.Location.to_string} forms of
+            every racing location — the recall oracle's input *)
+  }
+
+type file_outcome =
+  | File_completed of file_report
+  | File_failed of failure  (** [f_app] is the sweep key *)
+
+val run_file :
+  ?config:Detector.config ->
+  ?budget:budget ->
+  ?retry:Proc_pool.retry_policy ->
+  string ->
+  file_outcome
+(** One trace file through the supervised load → validate → analyze
+    pipeline, retried like {!run_app}. *)
+
+val run_files :
+  ?jobs:int ->
+  ?config:Detector.config ->
+  ?budget:budget ->
+  ?retry:Proc_pool.retry_policy ->
+  ?mode:mode ->
+  ?journal:Journal.t ->
+  ?progress:Progress.t ->
+  string list ->
+  file_outcome list
+(** The file analogue of {!run_catalog}: same order/parallelism
+    contract, same journaling and progress semantics, same
+    {!Cooperative}/{!Isolated} substrates.  Outcomes are keyed by
+    basename-without-extension, so a resumed sweep must not mix files
+    that collide on that key (a corpus directory never does).  Because
+    the key also ignores the format extension, sweeping a binary corpus
+    and its text twin yields race tables that differ only in [fr_file]
+    and timings — the corpus gate's equality check. *)
+
+val file_completed : file_outcome list -> file_report list
+
+val file_failures : file_outcome list -> failure list
+
+val file_table : file_report list -> Table.t
+
+val files_json_string : file_outcome list -> string
+(** Schema [droidracer-races/1]: one object per file — completed rows
+    carry [name], [file], [events], [races], [distinct_races],
+    [engine], [elapsed_seconds] and the sorted [locations] array;
+    failed rows carry [name], [status], [reason], [engine],
+    [elapsed_seconds], [retries].  Stripping [file] and
+    [elapsed_seconds] makes binary and text sweeps of the same corpus
+    bit-comparable. *)

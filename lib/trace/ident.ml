@@ -11,7 +11,7 @@ module Thread_id = struct
   let equal = Int.equal
   let compare = Int.compare
   let pp ppf t = Format.fprintf ppf "t%d" t
-  let to_string t = Format.asprintf "%a" pp t
+  let to_string t = "t" ^ string_of_int t
 
   let of_string s =
     if String.length s >= 2 && s.[0] = 't' then
@@ -62,7 +62,7 @@ module Task_id = struct
     | c -> c
 
   let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.instance
-  let to_string t = Format.asprintf "%a" pp t
+  let to_string t = t.name ^ "#" ^ string_of_int t.instance
 
   let of_string s =
     match String.index_opt s '#' with
@@ -83,6 +83,52 @@ module Task_id = struct
 
   module Set = Set.Make (Ord)
   module Map = Map.Make (Ord)
+end
+
+module Interner = struct
+  type t =
+    { table : (string, int) Hashtbl.t
+    ; mutable names : string array
+    ; mutable count : int
+    }
+
+  let create ?(size_hint = 64) () =
+    { table = Hashtbl.create size_hint
+    ; names = Array.make (max 1 size_hint) ""
+    ; count = 0
+    }
+
+  let length t = t.count
+
+  let grow t =
+    let names = Array.make (2 * Array.length t.names) "" in
+    Array.blit t.names 0 names 0 t.count;
+    t.names <- names
+
+  let intern t s =
+    match Hashtbl.find_opt t.table s with
+    | Some idx ->
+      Droidracer_obs.Obs.add "trace.intern_hits";
+      idx
+    | None ->
+      let idx = t.count in
+      if idx >= Array.length t.names then grow t;
+      t.names.(idx) <- s;
+      t.count <- idx + 1;
+      Hashtbl.add t.table s idx;
+      idx
+
+  let find_opt t s = Hashtbl.find_opt t.table s
+
+  let get t idx =
+    if idx < 0 || idx >= t.count then
+      invalid_arg (Printf.sprintf "Interner.get: index %d out of bounds" idx);
+    t.names.(idx)
+
+  let iter t f =
+    for idx = 0 to t.count - 1 do
+      f idx t.names.(idx)
+    done
 end
 
 module Location = struct
@@ -116,7 +162,7 @@ module Location = struct
     | c -> c
 
   let pp ppf t = Format.fprintf ppf "%s.%s@%d" t.cls t.field t.obj
-  let to_string t = Format.asprintf "%a" pp t
+  let to_string t = t.cls ^ "." ^ t.field ^ "@" ^ string_of_int t.obj
 
   let of_string s =
     match String.index_opt s '.', String.index_opt s '@' with

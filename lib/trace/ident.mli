@@ -91,6 +91,38 @@ module Task_id : sig
   module Map : Map.S with type key = t
 end
 
+(** A shared string-interning table.
+
+    The binary trace codec ({!Binfmt}), the streaming engine and the
+    corpus generator all need a stable [string -> small int] mapping for
+    identifier names.  Hoisting the table here keeps the numbering
+    consistent between producers and consumers.  Indices are dense and
+    assigned in first-seen order, so an interner doubles as an ordered
+    ident table.  Repeated lookups bump the [trace.intern_hits]
+    observability counter (a no-op unless telemetry is enabled). *)
+module Interner : sig
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+
+  val intern : t -> string -> int
+  (** [intern t s] is the index of [s], assigning the next dense index
+      on first sight. *)
+
+  val find_opt : t -> string -> int option
+  (** Lookup without inserting. *)
+
+  val get : t -> int -> string
+  (** Inverse of {!intern}.
+      @raise Invalid_argument if the index was never assigned. *)
+
+  val length : t -> int
+  (** Number of distinct strings interned so far. *)
+
+  val iter : t -> (int -> string -> unit) -> unit
+  (** [iter t f] applies [f idx name] in increasing index order. *)
+end
+
 (** Heap memory locations.
 
     A location is a field of an object: the evaluation counts distinct

@@ -194,19 +194,61 @@ let parse_event text =
 
 type read_error =
   | Parse of parse_error
+  | Binary of Binfmt.error
   | Ill_formed of string
   | Io of string
 
 let pp_read_error ppf = function
   | Parse e -> pp_parse_error ppf e
+  | Binary e -> Binfmt.pp_error ppf e
   | Ill_formed msg -> Format.fprintf ppf "ill-formed trace: %s" msg
   | Io msg -> Format.fprintf ppf "%s" msg
 
 let read_error_message e = Format.asprintf "%a" pp_read_error e
 
-let fold_channel ic ~init ~f =
+(* Reads up to [n] bytes from [ic] (fewer only at end of input), looping
+   over short reads. *)
+let input_prefix ic n =
+  let b = Bytes.create n in
+  let rec go k =
+    if k >= n then k
+    else
+      match In_channel.input ic b k (n - k) with
+      | 0 -> k
+      | r -> go (k + r)
+  in
+  Bytes.sub_string b 0 (go 0)
+
+(* A line-at-a-time reader over [ic] that first re-serves [prefix], the
+   raw bytes the format sniffer already consumed.  The prefix may end in
+   the middle of a line; that fragment is joined with the next line read
+   from the channel. *)
+let line_reader_with_prefix prefix ic =
+  let rec split_last acc = function
+    | [] -> (List.rev acc, "")
+    | [ last ] -> (List.rev acc, last)
+    | x :: rest -> split_last (x :: acc) rest
+  in
+  let complete, fragment = split_last [] (String.split_on_char '\n' prefix) in
+  let queued = ref complete in
+  let fragment = ref (Some fragment) in
+  fun () ->
+    match !queued with
+    | line :: rest ->
+      queued := rest;
+      Some line
+    | [] ->
+      (match !fragment with
+       | Some frag ->
+         fragment := None;
+         (match In_channel.input_line ic with
+          | Some rest -> Some (frag ^ rest)
+          | None -> if frag = "" then None else Some frag)
+       | None -> In_channel.input_line ic)
+
+let fold_text_lines next_line ~init ~f =
   let rec go lineno acc =
-    match In_channel.input_line ic with
+    match next_line () with
     | None -> Ok acc
     | Some line ->
       (match parse_event_located ~line:lineno line with
@@ -216,8 +258,19 @@ let fold_channel ic ~init ~f =
   in
   go 1 init
 
+let fold_channel ic ~init ~f =
+  let prefix = input_prefix ic 4 in
+  if Binfmt.is_magic prefix then
+    match
+      Binfmt.fold_after_magic ~base_offset:4 ic ~init
+        ~f:(fun acc ~index e -> f acc ~line:(index + 1) e)
+    with
+    | Ok acc -> Ok acc
+    | Error e -> Error (Binary e)
+  else fold_text_lines (line_reader_with_prefix prefix ic) ~init ~f
+
 let fold_events path ~init ~f =
-  match In_channel.with_open_text path (fun ic -> fold_channel ic ~init ~f) with
+  match In_channel.with_open_bin path (fun ic -> fold_channel ic ~init ~f) with
   | result -> result
   | exception Sys_error msg -> Error (Io msg)
 
@@ -248,7 +301,7 @@ let parse text =
   go 1 [] lines
 
 let load path =
-  match In_channel.with_open_text path read with
+  match In_channel.with_open_bin path read with
   | Ok trace -> Ok trace
   | Error e -> Error (read_error_message e)
   | exception Sys_error msg -> Error msg

@@ -1,4 +1,4 @@
-(** Textual trace format.
+(** Trace input/output.
 
     The Trace Generator of the real DroidRacer logs operations to a file
     that the Race Detector analyses offline (Section 5); this module is
@@ -24,7 +24,16 @@
     {!fold_events} and {!read} parse one line at a time and never
     materialise the whole file as a string, so multi-million-event
     traces stream through in constant memory (plus, for the readers
-    that build a {!Trace.t}, the events themselves). *)
+    that build a {!Trace.t}, the events themselves).
+
+    Every streaming reader also accepts the {e binary} trace format of
+    {!Binfmt} transparently: the first four bytes of the input are
+    sniffed and, when they match {!Binfmt.magic}, the stream is handed
+    to the binary decoder.  (No valid text trace can collide with the
+    magic: text lines start with [t<n>], [#] or whitespace.)  For binary
+    inputs the [line] passed to the fold callbacks is the 1-based event
+    ordinal, and errors are located by byte offset and event index
+    ({!constructor:Binary}) instead of line/column. *)
 
 val print_event : Format.formatter -> Trace.event -> unit
 (** One event in the line format (no trailing newline);
@@ -51,6 +60,7 @@ val parse_error_message : parse_error -> string
 
 type read_error =
   | Parse of parse_error
+  | Binary of Binfmt.error  (** located binary decode error *)
   | Ill_formed of string  (** structurally invalid ({!Trace.of_events}) *)
   | Io of string  (** file system errors *)
 
@@ -82,9 +92,12 @@ val fold_channel :
   init:'a ->
   f:('a -> line:int -> Trace.event -> 'a) ->
   ('a, read_error) result
-(** Folds [f] over the events of a channel, one line at a time (blank
-    and comment lines are skipped; [line] is 1-based).  Constant memory
-    beyond the accumulator.  Never returns [Ill_formed] or [Io]. *)
+(** Folds [f] over the events of a channel, dispatching on the sniffed
+    format.  Text inputs are consumed one line at a time (blank and
+    comment lines are skipped; [line] is the 1-based line number);
+    binary inputs are decoded record by record ([line] is the 1-based
+    event ordinal).  Constant memory beyond the accumulator.  Never
+    returns [Ill_formed] or [Io]. *)
 
 val fold_events :
   string ->

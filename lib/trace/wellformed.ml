@@ -542,11 +542,13 @@ let check trace =
 
 type failure =
   | Syntax of Trace_io.parse_error
+  | Binary of Binfmt.error
   | Violation of error
   | Io of string
 
 let pp_failure ppf = function
   | Syntax e -> Format.fprintf ppf "syntax error: %a" Trace_io.pp_parse_error e
+  | Binary e -> Format.fprintf ppf "binary decode error: %a" Binfmt.pp_error e
   | Violation e -> pp_error ppf e
   | Io msg -> Format.fprintf ppf "%s" msg
 
@@ -554,6 +556,7 @@ let failure_message f = Format.asprintf "%a" pp_failure f
 
 let failure_line = function
   | Syntax e -> Some e.Trace_io.pe_line
+  | Binary e -> Some (e.Binfmt.be_index + 1)
   | Violation e -> Some e.line
   | Io _ -> None
 
@@ -567,11 +570,12 @@ let check_channel ic =
   with
   | Ok () -> Ok (finish st)
   | Error (Trace_io.Parse e) -> Error (Syntax e)
+  | Error (Trace_io.Binary e) -> Error (Binary e)
   | Error (Trace_io.Ill_formed msg) | Error (Trace_io.Io msg) ->
     Error (Io msg)
   | exception Reject err -> Error (Violation err)
 
 let check_file path =
-  match In_channel.with_open_text path check_channel with
+  match In_channel.with_open_bin path check_channel with
   | result -> result
   | exception Sys_error msg -> Error (Io msg)

@@ -129,10 +129,12 @@ val check : Trace.t -> (stats, error) result
 
 (** {1 Files} *)
 
-(** Why a file was rejected: a syntax error from the streaming parser, a
-    rule violation, or an I/O failure. *)
+(** Why a file was rejected: a syntax error from the streaming text
+    parser, a located binary decode error, a rule violation, or an I/O
+    failure. *)
 type failure =
   | Syntax of Trace_io.parse_error
+  | Binary of Binfmt.error
   | Violation of error
   | Io of string
 
@@ -141,6 +143,8 @@ val pp_failure : Format.formatter -> failure -> unit
 val failure_message : failure -> string
 
 val failure_line : failure -> int option
+(** The 1-based line (text) or event position (binary/violation) of the
+    failure, when it has one. *)
 
 val check_channel : In_channel.t -> (stats, failure) result
 

@@ -20,6 +20,7 @@ module Detector = Droidracer_core.Detector
 module Trace = Droidracer_trace.Trace
 module Catalog = Droidracer_corpus.Catalog
 module Synthetic = Droidracer_corpus.Synthetic
+module Vargen = Droidracer_corpus.Vargen
 module Obs = Droidracer_obs.Obs
 module Progress = Droidracer_report.Progress
 open Helpers
@@ -436,6 +437,66 @@ let test_progress_jsonl () =
   check_bool "final heartbeat is the summary" true
     (Astring_contains.contains (List.hd !heartbeats) "sweep done")
 
+(* {1 Trace-file sweeps} *)
+
+(* The same derived variants written in both formats, swept at
+   different jobs values: every row completes, the planted races are
+   among the reported locations, and the reports agree between the
+   binary and text sweeps (the binary-vs-text CI diff in miniature).
+   A missing file costs a rejected row, never the sweep. *)
+let test_run_files () =
+  let dir = Filename.temp_file "droidracer_files" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  let variants = Vargen.variants ~seed:5 ~events:800 ~count:3 () in
+  let bin = List.map (Vargen.write ~dir ~binary:true) variants in
+  let txt = List.map (Vargen.write ~dir ~binary:false) variants in
+  let from_bin = Supervisor.run_files ~jobs:2 bin in
+  let from_txt = Supervisor.run_files ~jobs:1 txt in
+  check_int "binary rows complete" 3
+    (List.length (Supervisor.file_completed from_bin));
+  check_int "no failures" 0 (List.length (Supervisor.file_failures from_bin));
+  let key r =
+    ( r.Supervisor.fr_name
+    , r.Supervisor.fr_events
+    , r.Supervisor.fr_races
+    , r.Supervisor.fr_distinct
+    , r.Supervisor.fr_locations )
+  in
+  check_bool "binary sweep = text sweep (modulo file and timing)" true
+    (List.map key (Supervisor.file_completed from_bin)
+     = List.map key (Supervisor.file_completed from_txt));
+  List.iter2
+    (fun v r ->
+       List.iter
+         (fun planted ->
+            check_bool
+              (Printf.sprintf "%s recalls %s" r.Supervisor.fr_name planted)
+              true
+              (List.mem planted r.Supervisor.fr_locations))
+         v.Vargen.v_planted)
+    variants
+    (Supervisor.file_completed from_bin);
+  let json = Supervisor.files_json_string from_bin in
+  check_bool "races JSON schema" true
+    (Astring_contains.contains json "droidracer-races/1");
+  check_bool "races JSON keys rows by extension-free name" true
+    (Astring_contains.contains json "\"name\":\"variant-0000\"");
+  match Supervisor.run_files [ Filename.concat dir "missing.trace" ] with
+  | [ Supervisor.File_failed f ] ->
+    check_bool "missing file is a rejected row" true
+      (match f.Supervisor.f_reason with
+       | Supervisor.Rejected _ -> true
+       | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one failure row"
+
 let test_failure_table () =
   let rendered =
     Droidracer_report.Table.render (Supervisor.failure_table sample_failures)
@@ -479,6 +540,10 @@ let () =
       , [ Alcotest.test_case "valid trace" `Quick test_analyze_valid
         ; Alcotest.test_case "inadmissible trace rejected" `Quick
             test_analyze_rejects_inadmissible
+        ] )
+    ; ( "file sweeps"
+      , [ Alcotest.test_case "binary = text, planted recalled" `Slow
+            test_run_files
         ] )
     ; ( "reports"
       , [ Alcotest.test_case "failures JSON" `Quick test_failures_json

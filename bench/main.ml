@@ -23,6 +23,11 @@
                    sizes and events/sec, race-table equality, apps/hour
                    and peak worker RSS; the CI corpus gate archives it
                    as BENCH_corpus.json);
+   - [--predict-json PATH] also write the predictive-engine record
+                   (schema droidracer-predict-bench/1: candidate pairs
+                   per second, masked-race recall, reordering-only
+                   races versus the streaming engine; the CI predict
+                   gate archives it as BENCH_predict.json);
    - [--trace-out PATH]   enable telemetry and write a Chrome
                    trace_event JSON of the whole run (one track per
                    analysis domain; chrome://tracing / Perfetto);
@@ -40,6 +45,7 @@ module Clock_engine = Droidracer_core.Clock_engine
 module Streaming_engine = Droidracer_core.Streaming_engine
 module Par_pool = Droidracer_core.Par_pool
 module Longtrace = Droidracer_corpus.Longtrace
+module Predict = Droidracer_predict.Predict
 module Vargen = Droidracer_corpus.Vargen
 module Runtime = Droidracer_appmodel.Runtime
 module Music_player = Droidracer_corpus.Music_player
@@ -66,13 +72,15 @@ type options =
   ; series_out : string option
   ; baseline : string option
   ; corpus_json : string option
+  ; predict_json : string option
   }
 
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
-     [--streaming-json PATH] [--corpus-json PATH] [--trace-out PATH] \
-     [--metrics-out PATH] [--series-out PATH] [--baseline PATH]";
+     [--streaming-json PATH] [--corpus-json PATH] [--predict-json PATH] \
+     [--trace-out PATH] [--metrics-out PATH] [--series-out PATH] \
+     [--baseline PATH]";
   exit 2
 
 let parse_options () =
@@ -101,6 +109,8 @@ let parse_options () =
         go (i + 2) { acc with baseline = Some Sys.argv.(i + 1) }
       | "--corpus-json" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with corpus_json = Some Sys.argv.(i + 1) }
+      | "--predict-json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with predict_json = Some Sys.argv.(i + 1) }
       | _ -> usage ()
   in
   go 1
@@ -114,6 +124,7 @@ let parse_options () =
     ; series_out = None
     ; baseline = None
     ; corpus_json = None
+    ; predict_json = None
     }
 
 (* {1 Wall-clock stage timings}
@@ -779,6 +790,155 @@ let streaming_stage ~quick ~streaming_json =
          Printf.printf "wrote %s\n" out)
       streaming_json
 
+(* {1 Predictive engine}
+
+   The predictive engine swept over lock-masked Longtrace corpora:
+   each config plants [masked] races that the observed schedule hides
+   behind a LOCK edge, so the batch and streaming engines report none
+   of them and the predictive engine must recover every one by
+   reordering.  Reported per size: candidate pairs per second,
+   reordering-only races versus the streaming engine's count, and
+   masked-race recall (the stage fails if any masked race is missed —
+   the same claim the CI predict gate makes on the variant corpus). *)
+
+type predict_row =
+  { pb_events : int
+  ; pb_candidates : int
+  ; pb_feasible : int
+  ; pb_extra : int
+  ; pb_streaming_races : int
+  ; pb_masked : int
+  ; pb_masked_found : int
+  ; pb_dt : float
+  }
+
+let predict_stage ~quick ~jobs =
+  let sizes = if quick then [ 800; 1_600 ] else [ 800; 1_600; 3_200 ] in
+  let config =
+    { Longtrace.default_config with
+      planted = 2
+    ; masked = 2
+    ; loopers = 3
+    ; seed = 11
+    }
+  in
+  let masked = Longtrace.masked_locations config in
+  let rows =
+    List.map
+      (fun events ->
+         let rev_events = ref [] in
+         let n =
+           Longtrace.generate ~config ~events (fun e ->
+             rev_events := e :: !rev_events)
+         in
+         assert (n = events);
+         let trace =
+           Trace.remove_cancelled (Trace.of_events_exn (List.rev !rev_events))
+         in
+         let stream_races, _ = Streaming_engine.detect trace in
+         let report, dt =
+           timed (Printf.sprintf "predict_%d" events) (fun () ->
+             Predict.analyze ~jobs trace)
+         in
+         let extras = Predict.extra_locations report in
+         let found = List.filter (fun l -> List.mem l extras) masked in
+         { pb_events = events
+         ; pb_candidates = report.Predict.candidates
+         ; pb_feasible = report.Predict.feasible
+         ; pb_extra = report.Predict.extra
+         ; pb_streaming_races = List.length stream_races
+         ; pb_masked = List.length masked
+         ; pb_masked_found = List.length found
+         ; pb_dt = dt
+         })
+      sizes
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Predictive engine over lock-masked corpora (%d jobs)" jobs)
+      ~columns:
+        [ "events"
+        ; "candidates"
+        ; "feasible"
+        ; "streaming"
+        ; "extra"
+        ; "masked recall"
+        ; "wall"
+        ; "pairs/s"
+        ]
+  in
+  List.iter
+    (fun r ->
+       Table.add_row table
+         [ string_of_int r.pb_events
+         ; string_of_int r.pb_candidates
+         ; string_of_int r.pb_feasible
+         ; string_of_int r.pb_streaming_races
+         ; string_of_int r.pb_extra
+         ; Printf.sprintf "%d/%d" r.pb_masked_found r.pb_masked
+         ; Printf.sprintf "%.3fs" r.pb_dt
+         ; Printf.sprintf "%.0f"
+             (float_of_int r.pb_candidates /. Float.max 1e-9 r.pb_dt)
+         ])
+    rows;
+  Table.print table;
+  let missed =
+    List.filter (fun r -> r.pb_masked_found < r.pb_masked) rows
+  in
+  if missed <> [] then begin
+    List.iter
+      (fun r ->
+         Printf.eprintf
+           "bench: predictive engine missed %d/%d masked race(s) at %d \
+            events\n"
+           (r.pb_masked - r.pb_masked_found) r.pb_masked r.pb_events)
+      missed;
+    exit 1
+  end;
+  Printf.printf
+    "every masked race invisible to the streaming engine was recovered by \
+     reordering\n";
+  rows
+
+let write_predict_json path opts rows =
+  let oc = Out_channel.open_text path in
+  let out fmt = Printf.fprintf oc fmt in
+  let candidates = List.fold_left (fun a r -> a + r.pb_candidates) 0 rows in
+  let wall = List.fold_left (fun a r -> a +. r.pb_dt) 0.0 rows in
+  let masked = List.fold_left (fun a r -> a + r.pb_masked) 0 rows in
+  let found = List.fold_left (fun a r -> a + r.pb_masked_found) 0 rows in
+  let extra = List.fold_left (fun a r -> a + r.pb_extra) 0 rows in
+  out "{\n";
+  out "  \"schema\": \"droidracer-predict-bench/1\",\n";
+  out "  \"quick\": %b,\n" opts.quick;
+  out "  \"jobs\": %d,\n" opts.jobs;
+  out "  \"candidate_pairs\": %d,\n" candidates;
+  out "  \"pairs_per_sec\": %.1f,\n"
+    (float_of_int candidates /. Float.max 1e-9 wall);
+  out "  \"extra_races\": %d,\n" extra;
+  out "  \"masked_planted\": %d,\n" masked;
+  out "  \"masked_found\": %d,\n" found;
+  out "  \"masked_recall\": %.3f,\n"
+    (float_of_int found /. Float.max 1.0 (float_of_int masked));
+  out "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+       out
+         "    {\"events\": %d, \"candidates\": %d, \"feasible\": %d, \
+          \"streaming_races\": %d, \"extra\": %d, \"masked\": %d, \
+          \"masked_found\": %d, \"wall_seconds\": %.6f, \
+          \"pairs_per_sec\": %.1f}%s\n"
+         r.pb_events r.pb_candidates r.pb_feasible r.pb_streaming_races
+         r.pb_extra r.pb_masked r.pb_masked_found r.pb_dt
+         (float_of_int r.pb_candidates /. Float.max 1e-9 r.pb_dt)
+         (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let microbenchmarks (runs : Experiments.app_run list) =
@@ -954,6 +1114,11 @@ let () =
     opts.hb_engines_json;
   section "Streaming engine: bounded memory, single pass";
   streaming_stage ~quick ~streaming_json:opts.streaming_json;
+  section "Predictive engine: reordering-only races";
+  let predict_rows = predict_stage ~quick ~jobs:opts.jobs in
+  Option.iter
+    (fun path -> write_predict_json path opts predict_rows)
+    opts.predict_json;
   section "Ablation: specialized happens-before relations";
   ignore (timed "baseline_ablation" (fun () ->
     Table.print (Experiments.baseline_table runs)));

@@ -35,6 +35,7 @@ module Vargen = Droidracer_corpus.Vargen
 module Explorer = Droidracer_explorer.Explorer
 module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
+module Predict = Droidracer_predict.Predict
 module Experiments = Droidracer_report.Experiments
 module Supervisor = Droidracer_report.Supervisor
 module Proc_pool = Droidracer_report.Proc_pool
@@ -387,6 +388,31 @@ let analyze_cmd =
                 throughput and memory profile (schema \
                 droidracer-streaming/1) to $(docv).")
   in
+  (* The predictive engine is not a closure engine — it layers a
+     feasibility search on top of the dense relation — so the choice is
+     lifted here at the command level rather than in
+     Happens_before.closure_engine. *)
+  let engine_arg =
+    let doc =
+      "Happens-before engine: $(b,dense), $(b,worklist) or \
+       $(b,streaming) as elsewhere, or $(b,predictive) — the dense \
+       analysis followed by the reordering feasibility search of the \
+       $(b,predict) subcommand (candidate pairs the observed schedule \
+       ordered only through lock or dispatch accidents are searched \
+       for an admissible flipping schedule)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("dense", `Core Happens_before.Dense)
+             ; ("worklist", `Core Happens_before.Worklist)
+             ; ("streaming", `Core Happens_before.Streaming)
+             ; ("predictive", `Predictive)
+             ])
+          (`Core Happens_before.Dense)
+      & info [ "hb-engine" ] ~docv:"ENGINE" ~doc)
+  in
   (* The streaming engine's whole point is never materialising the
      trace, so its path reads the file twice — a validation pass, then
      the detection pass — instead of loading it once. *)
@@ -428,13 +454,19 @@ let analyze_cmd =
            Printf.eprintf "wrote streaming stats to %s\n%!" path)
         streaming_json
   in
-  let run file no_coalesce no_enables show_all coverage jobs closure budget
+  let run file no_coalesce no_enables show_all coverage jobs engine budget
       streaming_json telemetry =
     with_telemetry telemetry @@ fun () ->
-    match closure with
-    | Happens_before.Streaming ->
+    match engine with
+    | `Core Happens_before.Streaming ->
       run_streaming file show_all coverage streaming_json
-    | Happens_before.Dense | Happens_before.Worklist ->
+    | (`Core (Happens_before.Dense | Happens_before.Worklist) | `Predictive)
+      as engine ->
+    let closure, predictive =
+      match engine with
+      | `Core c -> (c, false)
+      | `Predictive -> (Happens_before.Dense, true)
+    in
     match Trace_io.load file with
     | Error msg -> or_die (Error msg)
     | Ok trace ->
@@ -471,13 +503,20 @@ let analyze_cmd =
         Format.printf "race coverage: %d root(s) for %d race(s)@."
           (List.length groups) (List.length races);
         List.iter (fun g -> Format.printf "%a@." Race_coverage.pp_group g) groups
+      end;
+      if predictive then begin
+        let preport = Predict.analyze ~config ~jobs trace in
+        Format.printf "predictive: %a@." Predict.pp_report preport;
+        List.iter
+          (fun loc -> Format.printf "  reordering-only race on %s@." loc)
+          (Predict.extra_locations preport)
       end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Detect and classify data races in a trace file.")
     Term.(
       const run $ file $ no_coalesce $ no_enables $ show_all $ coverage
-      $ jobs_arg $ hb_engine_arg $ budget_term $ streaming_json
+      $ jobs_arg $ engine_arg $ budget_term $ streaming_json
       $ telemetry_term)
 
 let validate_cmd =
@@ -1243,6 +1282,176 @@ let gencorpus_cmd =
           gate.")
     Term.(const run $ dir $ count $ seed $ events $ binary)
 
+let predict_cmd =
+  let files =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"TRACE" ~doc:"Trace files to analyse.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the prediction report (schema \
+                droidracer-predictions/1: per-file summaries plus one \
+                record per candidate pair with its verdict, window and \
+                witness replay results) as JSON to $(docv).")
+  in
+  let window =
+    Arg.(value & opt int Predict.default_params.Predict.window
+         & info [ "predict-window" ] ~docv:"N"
+             ~doc:
+               "Maximum window span: candidate pairs whose accesses lie \
+                more than $(docv) events apart are reported unknown \
+                (window-exhausted) instead of searched.")
+  in
+  let max_iterations =
+    Arg.(value & opt int Predict.default_params.Predict.max_iterations
+         & info [ "max-iterations" ] ~docv:"N"
+             ~doc:
+               "Search nodes the per-pair solver may expand before the \
+                pair is reported unknown (budget-exhausted).")
+  in
+  let max_extra =
+    Arg.(value & opt int
+           Predict.default_params.Predict.max_extra_per_location
+         & info [ "max-extra" ] ~docv:"N"
+             ~doc:
+               "Reordering candidates searched per memory location; \
+                further ones are counted as dropped in the report \
+                (observed races and refutable pairs are never \
+                dropped).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Wall-clock budget for the whole run; pairs not solved \
+                in time are reported unknown (deadline) and the report \
+                is marked degraded, falling back to the observed-only \
+                races — the sweep never blocks.")
+  in
+  let witness_dir =
+    Arg.(value & opt (some string) None
+         & info [ "witness-dir" ] ~docv:"DIR"
+             ~doc:
+               "Write each feasible pair's witness — the complete \
+                reordered trace, replayable by $(b,validate) and \
+                $(b,analyze) — under $(docv) (created if missing).")
+  in
+  let binary =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:"Write witnesses in the binary trace format (.drt).")
+  in
+  let show_all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Print every candidate pair's verdict.")
+  in
+  let run files json_out window max_iterations max_extra timeout witness_dir
+      binary show_all jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let deadline =
+      Option.map (fun t -> Unix.gettimeofday () +. t) timeout
+    in
+    let params =
+      { Predict.window
+      ; max_iterations
+      ; max_extra_per_location = max_extra
+      ; deadline
+      }
+    in
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      witness_dir;
+    let witness_paths = Hashtbl.create 16 in
+    let write_witness ~file idx (p : Predict.pair_result) =
+      match (p.Predict.pr_verdict, witness_dir) with
+      | Predict.Feasible w, Some dir ->
+        let base = Filename.remove_extension (Filename.basename file) in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s-pair%03d.%s" base idx
+               (if binary then "drt" else "trace"))
+        in
+        (if binary then
+           Binfmt.write_file path (fun emit ->
+             List.iter emit (Trace.events w.Predict.w_trace))
+         else Trace_io.save path w.Predict.w_trace);
+        Hashtbl.replace witness_paths
+          ( file
+          , p.Predict.pr_pair.Race.first.Race.position
+          , p.Predict.pr_pair.Race.second.Race.position )
+          path
+      | _ -> ()
+    in
+    let results =
+      List.map
+        (fun file ->
+           match Trace_io.load file with
+           | Error msg -> or_die (Error msg)
+           | Ok trace ->
+             let report = Predict.analyze ~params ~jobs trace in
+             List.iteri (fun i p -> write_witness ~file i p)
+               report.Predict.pairs;
+             Format.printf "%s: %a@." file Predict.pp_report report;
+             if show_all then
+               List.iter
+                 (fun (p : Predict.pair_result) ->
+                    let verdict =
+                      match p.Predict.pr_verdict with
+                      | Predict.Feasible w ->
+                        if w.Predict.w_flipped then "FEASIBLE (flipped)"
+                        else "FEASIBLE (observed)"
+                      | Predict.Refuted r ->
+                        "refuted: " ^ Predict.refutation_label r
+                      | Predict.Unknown u ->
+                        "unknown: " ^ Predict.unknown_label u
+                    in
+                    Format.printf "  %a@.    -> %s@." Race.pp
+                      p.Predict.pr_pair verdict)
+                 report.Predict.pairs;
+             List.iter
+               (fun loc ->
+                  Format.printf "  reordering-only race on %s@." loc)
+               (Predict.extra_locations report);
+             (file, report))
+        files
+    in
+    Option.iter
+      (fun path ->
+         let witness_path ~file ~pair:(p : Predict.pair_result) =
+           Hashtbl.find_opt witness_paths
+             ( file
+             , p.Predict.pr_pair.Race.first.Race.position
+             , p.Predict.pr_pair.Race.second.Race.position )
+         in
+         Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc
+             (Predict.json_string ~params ~witness_path results));
+         Printf.eprintf "wrote prediction report to %s\n%!" path)
+      json_out;
+    let degraded =
+      List.exists (fun (_, r) -> r.Predict.degraded) results
+    in
+    if degraded then
+      Printf.eprintf
+        "droidracer: deadline passed; some pairs were not searched\n%!"
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Predict races beyond the observed schedule: for every \
+          candidate pair the batch engines order only through \
+          schedule accidents (lock winners, dispatch order), search a \
+          bounded window for an admissible reordering that flips the \
+          pair, and emit the reordered trace as an executable witness \
+          (checked against the admissibility rules, the transition \
+          semantics and the dense relation before being reported).")
+    Term.(
+      const run $ files $ json_out $ window $ max_iterations $ max_extra
+      $ timeout $ witness_dir $ binary $ show_all $ jobs_arg
+      $ telemetry_term)
+
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in
   Cmd.v
@@ -1269,5 +1478,6 @@ let () =
           ; synth_cmd
           ; convert_cmd
           ; gencorpus_cmd
+          ; predict_cmd
           ; lifecycle_cmd
           ]))

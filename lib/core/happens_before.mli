@@ -21,8 +21,10 @@ open! Import
     baselines of Section 4.1 ("Specializations") and Section 7, and for
     the ablation experiments; {!default} is the paper's relation. *)
 
-(** How operations of one thread are ordered by program order. *)
-type program_order =
+(** How operations of one thread are ordered by program order
+    (the type lives in {!Hb_edges}, shared with the static edge
+    builder). *)
+type program_order = Hb_edges.program_order =
   | Android_po
       (** NO-Q-PO until [loopOnQ], then ASYNC-PO within each task *)
   | Full_po

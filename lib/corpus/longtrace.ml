@@ -12,6 +12,7 @@ type config =
   ; fork_every : int
   ; lock_every : int
   ; planted : int
+  ; masked : int
   ; seed : int
   }
 
@@ -23,6 +24,7 @@ let default_config =
   ; fork_every = 97
   ; lock_every = 13
   ; planted = 0
+  ; masked = 0
   ; seed = 42
   }
 
@@ -32,6 +34,13 @@ let planted_location j =
 let planted_locations config =
   List.init (max 0 config.planted) (fun j ->
     Location.to_string (planted_location j))
+
+let masked_location j =
+  Location.make ~cls:"Planted" ~field:(Printf.sprintf "m%d" j) ~obj:0
+
+let masked_locations config =
+  List.init (max 0 config.masked) (fun j ->
+    Location.to_string (masked_location j))
 
 (* A tiny deterministic PRNG (xorshift), so the trace is a pure
    function of the config — [Random] would tie the corpus to the
@@ -104,11 +113,46 @@ let generate ?(config = default_config) ~events emit =
        driver, FIFO and the streaming fold are per-thread, workers never
        touch [Planted]), so each planted pair is a guaranteed race. *)
     let planting = config.planted > 0 && it <= 2 * config.planted in
+    (* Lock-masked ground truth: after the planted window, location
+       [Planted.m<j>@0] is written by exactly the tasks of iterations
+       [base+j+1] and [base+j+1+masked] (base = 2*planted), on distinct
+       loopers whenever [masked mod loopers <> 0].  Both writers bracket
+       a dedicated lock [mlock<j>] so that the observed schedule chains
+       write₁ ⪯ release₁ ⪯(LOCK) acquire₂ ⪯ write₂ — the batch engines
+       order the pair and report nothing — yet running the second task
+       first is an admissible reordering (nothing but the flippable lock
+       edge relates the two bodies), so the pair is a guaranteed
+       reordering-only race for the predictive engine. *)
+    let masked_base = 2 * config.planted in
+    let masking =
+      config.masked > 0
+      && it > masked_base
+      && it <= masked_base + (2 * config.masked)
+    in
     let with_lock =
-      (not planting) && config.lock_every > 0 && it mod config.lock_every = 0
+      (not planting) && (not masking) && config.lock_every > 0
+      && it mod config.lock_every = 0
     in
     let l = Lock_id.make (Printf.sprintf "lock%d" (rand config.locks)) in
     if with_lock then push looper (Operation.Acquire l);
+    (match masking with
+     | true ->
+       let j = (it - masked_base - 1) mod config.masked in
+       let ml = Lock_id.make (Printf.sprintf "mlock%d" j) in
+       if it - masked_base <= config.masked then begin
+         (* first writer: the racy write happens before its critical
+            section, so the LOCK edge orders it under the second
+            writer's write *)
+         push looper (Operation.Write (masked_location j));
+         push looper (Operation.Acquire ml);
+         push looper (Operation.Release ml)
+       end
+       else begin
+         push looper (Operation.Acquire ml);
+         push looper (Operation.Release ml);
+         push looper (Operation.Write (masked_location j))
+       end
+     | false -> ());
     for _ = 1 to config.accesses_per_task do
       access looper
     done;
@@ -142,12 +186,14 @@ let generate ?(config = default_config) ~events emit =
 let binary_idents config =
   let idents = ref [ "job"; "Obj" ] in
   let add s = idents := s :: !idents in
-  if config.planted > 0 then begin
-    add "Planted";
-    for j = 0 to config.planted - 1 do
-      add (Printf.sprintf "g%d" j)
-    done
-  end;
+  if config.planted > 0 || config.masked > 0 then add "Planted";
+  for j = 0 to config.planted - 1 do
+    add (Printf.sprintf "g%d" j)
+  done;
+  for j = 0 to config.masked - 1 do
+    add (Printf.sprintf "m%d" j);
+    add (Printf.sprintf "mlock%d" j)
+  done;
   for k = 0 to config.locks - 1 do
     add (Printf.sprintf "lock%d" k)
   done;

@@ -37,6 +37,19 @@ type config =
             nothing orders them, so every planted location is a
             guaranteed detectable race (provided [events] covers the
             first [2*planted] iterations).  0 disables. *)
+  ; masked : int
+        (** lock-masked ground-truth races, planted {e after} the
+            planted window: location [Planted.m<j>@0] ([0 <= j <
+            masked]) is written by exactly the tasks of iterations
+            [2*planted + j + 1] and [2*planted + j + 1 + masked], each
+            bracketing a dedicated lock [mlock<j>] so the observed
+            schedule orders the pair through a LOCK edge.  The batch
+            and streaming engines therefore never report it, but the
+            reordering that runs the second task first is admissible —
+            the pair is detectable {e only} by the predictive engine.
+            Requires [masked mod loopers <> 0] for the two writers to
+            land on distinct loopers, and [events] to cover the first
+            [2*planted + 2*masked] iterations.  0 disables. *)
   ; seed : int
   }
 
@@ -46,6 +59,10 @@ val planted_locations : config -> string list
 (** The {!Ident.Location.to_string} forms of the planted race
     locations, in order ([[]] when [planted = 0]) — the recall oracle
     for corpus gates. *)
+
+val masked_locations : config -> string list
+(** The lock-masked locations [Planted.m<j>@0], in order ([[]] when
+    [masked = 0]) — the recall oracle for the predictive gate. *)
 
 val generate : ?config:config -> events:int -> (Trace.event -> unit) -> int
 (** [generate ~events emit] calls [emit] for each event, stopping after

@@ -6,6 +6,7 @@ type variant =
   ; v_config : Longtrace.config
   ; v_events : int
   ; v_planted : string list
+  ; v_masked : string list
   }
 
 (* Same xorshift family as Longtrace: variants are a pure function of
@@ -41,6 +42,7 @@ let derive ~seed ~events index =
     ; fork_every = (if rand 4 = 0 then 0 else 29 + rand 120)
     ; lock_every = (if rand 5 = 0 then 0 else 5 + rand 18)
     ; planted
+    ; masked = 0
     ; seed = 1 + rand 0x3fffffff
     }
   in
@@ -51,11 +53,28 @@ let derive ~seed ~events index =
     ((2 * planted) + 1) * (accesses_per_task + 12) + (3 * loopers) + 1
   in
   let v_events = max min_events ((events / 2) + rand (max 1 events)) in
+  (* Lock-masked ground truth for the predictive gate.  Drawn after
+     every pre-existing draw so that, for a given (seed, index), all of
+     the fields above are bit-identical to what earlier corpora
+     recorded; like [planted], the two writers must land on distinct
+     loopers ([masked mod loopers <> 0]). *)
+  let masked = rand 3 in
+  let masked =
+    if masked > 0 && masked mod loopers = 0 then masked + 1 else masked
+  in
+  let config = { config with Longtrace.masked } in
+  (* Cover the masked window too (it sits after the planted window). *)
+  let min_events =
+    ((2 * planted) + (2 * masked) + 1) * (accesses_per_task + 12)
+    + (3 * loopers) + 1
+  in
+  let v_events = max min_events v_events in
   { v_index = index
   ; v_name = Printf.sprintf "variant-%04d" index
   ; v_config = config
   ; v_events
   ; v_planted = Longtrace.planted_locations config
+  ; v_masked = Longtrace.masked_locations config
   }
 
 let variants ?(seed = 1) ?(events = 4000) ~count () =
@@ -92,6 +111,12 @@ let manifest_json_string ~binary variants =
             if j > 0 then Buffer.add_char buf ',';
             Printf.bprintf buf "\"%s\"" p)
          v.v_planted;
+       Buffer.add_string buf "],\"masked\":[";
+       List.iteri
+         (fun j p ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\"%s\"" p)
+         v.v_masked;
        Buffer.add_string buf "]}")
     variants;
   Buffer.add_string buf "]}\n";

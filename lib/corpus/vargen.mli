@@ -19,6 +19,10 @@ type variant =
   ; v_planted : string list
         (** {!Longtrace.planted_locations} of the config — the recall
             oracle *)
+  ; v_masked : string list
+        (** {!Longtrace.masked_locations} of the config — the
+            reordering-only recall oracle for the predictive gate
+            (possibly empty; batch engines never report these) *)
   }
 
 val variants : ?seed:int -> ?events:int -> count:int -> unit -> variant list

@@ -1,0 +1,16 @@
+(* Aliases for the modules this library consumes; opened by every file
+   of this library. *)
+module Ident = Droidracer_trace.Ident
+module Operation = Droidracer_trace.Operation
+module Trace = Droidracer_trace.Trace
+module Wellformed = Droidracer_trace.Wellformed
+module State = Droidracer_semantics.State
+module Step = Droidracer_semantics.Step
+module Queue_model = Droidracer_semantics.Queue_model
+module Graph = Droidracer_core.Graph
+module Hb_edges = Droidracer_core.Hb_edges
+module Happens_before = Droidracer_core.Happens_before
+module Race = Droidracer_core.Race
+module Detector = Droidracer_core.Detector
+module Par_pool = Droidracer_core.Par_pool
+module Obs = Droidracer_obs.Obs

@@ -546,6 +546,58 @@ let prop_worklist_matches_reference =
          ~coalesce:true
          (Random_trace.generate ~seed ~size ()))
 
+(* {1 The shared static edge builder}
+
+   Happens_before seeds its fixpoint from Hb_edges (one builder, shared
+   with the predictive engine).  Check the extraction did not drift:
+   every emitted edge of the full static configuration is a fact of the
+   rule-by-rule oracle's relation, and the must configuration is
+   exactly the full one minus the LOCK instances. *)
+
+module Hb_edges = Droidracer_core.Hb_edges
+
+let static_edges ~config t =
+  let g = Graph.build ~coalesce:false t in
+  let edges = ref [] in
+  Hb_edges.iter ~config g ~f:(fun ~rule src dst ->
+    edges := (rule, Graph.first_pos g src, Graph.first_pos g dst) :: !edges);
+  List.sort_uniq compare !edges
+
+let edges_sound t =
+  let reference = Reference_hb.compute t in
+  List.for_all
+    (fun (rule, i, j) ->
+       let ok = i < j && Reference_hb.hb reference i j in
+       if not ok then
+         Format.eprintf "static edge %s (%d,%d) not in the oracle@."
+           (Hb_edges.rule_name rule) i j;
+       ok)
+    (static_edges ~config:Hb_edges.all t)
+
+let must_is_all_minus_lock t =
+  let strip = List.map (fun (_, i, j) -> (i, j)) in
+  let all_minus_lock =
+    List.filter (fun (r, _, _) -> r <> Hb_edges.Lock)
+      (static_edges ~config:Hb_edges.all t)
+  in
+  strip (static_edges ~config:Hb_edges.must t) = strip all_minus_lock
+
+let test_static_edges_figures () =
+  check_bool "figure 3 edges sound" true (edges_sound figure3);
+  check_bool "figure 4 edges sound" true (edges_sound figure4);
+  check_bool "figure 3 must = all - lock" true
+    (must_is_all_minus_lock figure3);
+  check_bool "figure 4 must = all - lock" true
+    (must_is_all_minus_lock figure4)
+
+let prop_static_edges_sound =
+  QCheck2.Test.make ~name:"static edges are facts of the rule oracle"
+    ~count:40
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 5 60))
+    (fun (seed, size) ->
+       let t = Random_trace.generate ~seed ~size () in
+       edges_sound t && must_is_all_minus_lock t)
+
 let () =
   Alcotest.run "happens_before"
     [ ( "rules"
@@ -585,6 +637,10 @@ let () =
         ; QCheck_alcotest.to_alcotest prop_engine_matches_reference_uncoalesced
         ; QCheck_alcotest.to_alcotest prop_hb_respects_trace_order
         ; QCheck_alcotest.to_alcotest prop_coalescing_preserves_hb
+        ] )
+    ; ( "static edges"
+      , [ Alcotest.test_case "figures" `Quick test_static_edges_figures
+        ; QCheck_alcotest.to_alcotest prop_static_edges_sound
         ] )
     ; ( "closure engines"
       , [ QCheck_alcotest.to_alcotest prop_worklist_matches_dense

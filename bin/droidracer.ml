@@ -334,6 +334,17 @@ let or_die = function
     prerr_endline ("droidracer: " ^ msg);
     exit 1
 
+(* Creates [dir] and any missing parents.  A failed [Sys.mkdir] is only
+   an error if the path still is not a directory afterwards, so losing
+   a creation race to another process is fine. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
 let run_app name seed events =
   let reg = or_die (find_app name) in
   let events =
@@ -1256,7 +1267,7 @@ let gencorpus_cmd =
                    instead of the text format (.trace).")
   in
   let run dir count seed events binary =
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    mkdir_p dir;
     let variants = Vargen.variants ~seed ~events ~count () in
     let total =
       List.fold_left
@@ -1328,7 +1339,10 @@ let predict_cmd =
                "Wall-clock budget for the whole run; pairs not solved \
                 in time are reported unknown (deadline) and the report \
                 is marked degraded, falling back to the observed-only \
-                races — the sweep never blocks.")
+                races — the sweep never blocks.  Unlike untimed runs, \
+                which set of pairs is cut short depends on timing, so \
+                degraded reports are not bit-identical across runs or \
+                $(b,--jobs) values.")
   in
   let witness_dir =
     Arg.(value & opt (some string) None
@@ -1360,9 +1374,7 @@ let predict_cmd =
       ; deadline
       }
     in
-    Option.iter
-      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
-      witness_dir;
+    Option.iter mkdir_p witness_dir;
     let witness_paths = Hashtbl.create 16 in
     let write_witness ~file idx (p : Predict.pair_result) =
       match (p.Predict.pr_verdict, witness_dir) with

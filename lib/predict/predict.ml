@@ -285,6 +285,15 @@ let witness_ok w =
 
 (* {1 The engine} *)
 
+(* The search window for a non-observed candidate: [lo, second], always
+   containing both accesses and spanning at most [params.window] events;
+   [None] when the accesses lie further apart than the window allows.
+   Shared between [solve_pair] and the parallel pre-population of the
+   prefix-state cache in [analyze], which must agree on the starts. *)
+let window_start ~params ~first ~second =
+  if second - first + 1 > params.window then None
+  else Some (min first (max 0 (second - params.window + 1)))
+
 let truncated_witness trace upto =
   let events = ref [] in
   for p = upto downto 0 do
@@ -354,18 +363,18 @@ let solve_pair ~params ~config ~trace ~state_at ~succs ~replayable
     ; pr_verdict = Unknown Input_not_replayable
     }
   end
-  else if b - a + 1 > params.window then begin
-    Obs.add "predict.window_exhausted";
-    Obs.add "predict.unknown";
-    { pr_pair = race
-    ; pr_observed = false
-    ; pr_window = None
-    ; pr_iterations = 0
-    ; pr_verdict = Unknown Window_exhausted
-    }
-  end
-  else begin
-    let lo = min a (max 0 (b - params.window + 1)) in
+  else
+    match window_start ~params ~first:a ~second:b with
+    | None ->
+      Obs.add "predict.window_exhausted";
+      Obs.add "predict.unknown";
+      { pr_pair = race
+      ; pr_observed = false
+      ; pr_window = None
+      ; pr_iterations = 0
+      ; pr_verdict = Unknown Window_exhausted
+      }
+    | Some lo -> begin
     Obs.add "predict.windows";
     let outcome, iterations =
       Solver.search ~trace ~state0:(state_at lo) ~succs ~lo ~first:a
@@ -494,32 +503,72 @@ let analyze ?(params = default_params) ?(config = Detector.default_config)
   in
   let replayable = Result.is_ok (Step.validate trace) in
   let succs = lazy (must_successors trace) in
-  (* Prefix states are shared across pairs: states.(k) is the state
-     after replaying positions 0..k-1.  Computed lazily up to the
-     largest window start actually needed. *)
+  (* Prefix states are shared across pairs: the cache maps a window
+     start [lo] to the state after replaying positions [0 .. lo-1].
+     OCaml's Hashtbl is not domain-safe, so only the coordinating
+     domain ever mutates the table: sequential runs fill it on demand
+     through [state_at], parallel runs pre-populate every window start
+     with [warm_state_cache] and hand the workers the read-only
+     [state_at_ro]. *)
   let state_cache = Hashtbl.create 16 in
+  let compute_state lo =
+    let st = ref State.initial in
+    for p = 0 to lo - 1 do
+      match Step.apply !st (Trace.get trace p) with
+      | Ok st' -> st := st'
+      | Error _ -> assert false (* input validated replayable *)
+    done;
+    !st
+  in
   let state_at lo =
     match Hashtbl.find_opt state_cache lo with
     | Some st -> st
     | None ->
-      let st = ref State.initial in
-      for p = 0 to lo - 1 do
-        match Step.apply !st (Trace.get trace p) with
-        | Ok st' -> st := st'
-        | Error _ -> assert false (* input validated replayable *)
-      done;
-      Hashtbl.replace state_cache lo !st;
-      !st
+      let st = compute_state lo in
+      Hashtbl.replace state_cache lo st;
+      st
+  in
+  (* Worker-domain view of the cache: never writes.  A miss (possible
+     only if [warm_state_cache] ever diverged from [solve_pair]'s
+     window choice) recomputes locally instead of touching the shared
+     table. *)
+  let state_at_ro lo =
+    match Hashtbl.find_opt state_cache lo with
+    | Some st -> st
+    | None -> compute_state lo
+  in
+  let warm_state_cache () =
+    let starts =
+      List.filter_map
+        (fun (r, observed) ->
+           let a = r.Race.first.Race.position
+           and b = r.Race.second.Race.position in
+           if observed || must_ordered a b then None
+           else window_start ~params ~first:a ~second:b)
+        selected
+      |> List.sort_uniq compare
+    in
+    (* One incremental replay of the trace covers every start. *)
+    let st = ref State.initial in
+    let pos = ref 0 in
+    List.iter
+      (fun lo ->
+         while !pos < lo do
+           (match Step.apply !st (Trace.get trace !pos) with
+            | Ok st' -> st := st'
+            | Error _ -> assert false);
+           incr pos
+         done;
+         Hashtbl.replace state_cache lo !st)
+      starts
   in
   let past_deadline () =
     match params.deadline with
     | None -> false
     | Some d -> Unix.gettimeofday () > d
   in
-  let degraded = ref false in
-  let solve (r, observed) =
+  let solve ~state_at (r, observed) =
     if past_deadline () && not observed then begin
-      degraded := true;
       Obs.add "predict.unknown";
       { pr_pair = r
       ; pr_observed = false
@@ -533,12 +582,21 @@ let analyze ?(params = default_params) ?(config = Detector.default_config)
         ~replayable ~must_ordered r ~observed
   in
   let pairs =
-    if jobs > 1 && params.deadline = None then
-      (* Each pair is a pure function of (trace, pair); warm the shared
-         caches first so the workers only read them. *)
-      let () = ignore (Lazy.force succs) in
-      Par_pool.parallel_map ~jobs solve selected
-    else List.map solve selected
+    if jobs > 1 then begin
+      (* Each pair is a pure function of (trace, pair); force the
+         shared caches before fanning out so the worker domains only
+         read them. *)
+      ignore (Lazy.force succs);
+      (if replayable then warm_state_cache ());
+      Par_pool.parallel_map ~jobs (solve ~state_at:state_at_ro) selected
+    end
+    else List.map (solve ~state_at) selected
+  in
+  let degraded =
+    List.exists
+      (fun p ->
+         match p.pr_verdict with Unknown Deadline -> true | _ -> false)
+      pairs
   in
   let count f = List.length (List.filter f pairs) in
   { trace
@@ -556,7 +614,7 @@ let analyze ?(params = default_params) ?(config = Detector.default_config)
         (not p.pr_observed)
         && match p.pr_verdict with Feasible _ -> true | _ -> false)
   ; replayable_input = replayable
-  ; degraded = !degraded
+  ; degraded
   ; pairs
   }
 

@@ -28,6 +28,10 @@
                    per second, masked-race recall, reordering-only
                    races versus the streaming engine; the CI predict
                    gate archives it as BENCH_predict.json);
+   - [--service-json PATH] also write the droidracerd load-generator
+                   record (schema droidracer-service-bench/1: p50/p99
+                   latency and traces/sec at 8 concurrent clients; the
+                   CI service gate archives it as BENCH_service.json);
    - [--trace-out PATH]   enable telemetry and write a Chrome
                    trace_event JSON of the whole run (one track per
                    analysis domain; chrome://tracing / Perfetto);
@@ -55,6 +59,10 @@ module Experiments = Droidracer_report.Experiments
 module Supervisor = Droidracer_report.Supervisor
 module Table = Droidracer_report.Table
 module Obs = Droidracer_obs.Obs
+module Swire = Droidracer_service.Wire
+module Server = Droidracer_service.Server
+module Sclient = Droidracer_service.Client
+module Loadgen = Droidracer_service.Loadgen
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -73,14 +81,15 @@ type options =
   ; baseline : string option
   ; corpus_json : string option
   ; predict_json : string option
+  ; service_json : string option
   }
 
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--jobs N] [--json PATH] [--hb-engines-json PATH] \
      [--streaming-json PATH] [--corpus-json PATH] [--predict-json PATH] \
-     [--trace-out PATH] [--metrics-out PATH] [--series-out PATH] \
-     [--baseline PATH]";
+     [--service-json PATH] [--trace-out PATH] [--metrics-out PATH] \
+     [--series-out PATH] [--baseline PATH]";
   exit 2
 
 let parse_options () =
@@ -111,6 +120,8 @@ let parse_options () =
         go (i + 2) { acc with corpus_json = Some Sys.argv.(i + 1) }
       | "--predict-json" when i + 1 < Array.length Sys.argv ->
         go (i + 2) { acc with predict_json = Some Sys.argv.(i + 1) }
+      | "--service-json" when i + 1 < Array.length Sys.argv ->
+        go (i + 2) { acc with service_json = Some Sys.argv.(i + 1) }
       | _ -> usage ()
   in
   go 1
@@ -125,6 +136,7 @@ let parse_options () =
     ; baseline = None
     ; corpus_json = None
     ; predict_json = None
+    ; service_json = None
     }
 
 (* {1 Wall-clock stage timings}
@@ -493,6 +505,87 @@ let with_temp_dir f =
          Sys.rmdir dir
        with Sys_error _ -> ()))
     (fun () -> f dir)
+
+(* {1 The serving layer: droidracerd under load}
+
+   Forks droidracerd with a fleet of workers and drives it with the
+   load generator: 8 forked client processes submitting the catalog's
+   traces concurrently over the daemon's unix socket.  The stage fails
+   if any request is lost or the daemon does not drain cleanly on
+   SIGTERM.  Daemon, workers and clients are all forked processes, so
+   this must run before the process's first domain spawn — i.e. first
+   of all the stages. *)
+
+let service_stage ~quick ~jobs ~clients =
+  with_temp_dir @@ fun dir ->
+  let specs = if quick then Catalog.open_source else Catalog.all in
+  let traces =
+    List.map
+      (fun spec ->
+         let built = Synthetic.build spec in
+         let result =
+           Runtime.run ~options:built.Synthetic.b_options
+             built.Synthetic.b_app built.Synthetic.b_events
+         in
+         let path = Filename.concat dir (spec.Synthetic.s_name ^ ".drt") in
+         Binfmt.save path result.Runtime.observed;
+         (spec.Synthetic.s_name, In_channel.with_open_bin path In_channel.input_all))
+      specs
+    |> Array.of_list
+  in
+  let endpoint = Swire.Unix_socket (Filename.concat dir "d.sock") in
+  let config =
+    { (Server.default_config endpoint) with
+      Server.workers = min 4 (max 2 jobs)
+    ; queue_capacity = 32
+    ; spool_dir = Filename.concat dir "spool"
+    ; journal_path = Some (Filename.concat dir "journal.bin")
+    }
+  in
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+         Unix.dup2 devnull Unix.stderr;
+         Unix.close devnull
+       with Unix.Unix_error _ -> ());
+      (try Server.run config with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let rec wait_ready deadline =
+    match Sclient.once endpoint Swire.Health with
+    | Ok json when Swire.response_status json = "ok" -> ()
+    | _ when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.05;
+      wait_ready deadline
+    | _ ->
+      Printf.eprintf "bench: droidracerd never became ready\n";
+      exit 1
+  in
+  wait_ready (Unix.gettimeofday () +. 15.0);
+  let requests = if quick then 6 else 12 in
+  let stats, _ =
+    timed "service_loadgen" (fun () ->
+      Loadgen.run ~endpoint ~clients ~requests ~traces
+        ~deadline_seconds:120.0 ~tag:"bench" ())
+  in
+  print_endline (Loadgen.human_summary stats);
+  (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+  let drained =
+    match Unix.waitpid [] daemon with
+    | _, Unix.WEXITED 0 -> true
+    | _, _ -> false
+  in
+  Printf.printf
+    "daemon: %d workers over %d traces; drained cleanly on SIGTERM: %b\n"
+    config.Server.workers (Array.length traces) drained;
+  if (not drained) || Loadgen.lost stats > 0 then begin
+    Printf.eprintf "bench: the serving layer lost requests or failed to drain\n";
+    exit 1
+  end;
+  stats
 
 let corpus_codec_stage ~quick ~jobs =
   with_temp_dir @@ fun dir ->
@@ -1044,10 +1137,17 @@ let () =
     (List.length specs)
     (if quick then " (open source only: --quick)" else "")
     opts.jobs;
-  section "Binary trace codec + corpus sweep";
   (* The forking stages come first by necessity: forked workers are
      only available before the first domain is spawned (see
      [supervision_overhead]). *)
+  section "Serving layer: droidracerd under concurrent load";
+  let service_stats = service_stage ~quick ~jobs:opts.jobs ~clients:8 in
+  Option.iter
+    (fun path ->
+       Loadgen.write_json path service_stats;
+       Printf.printf "wrote %s\n" path)
+    opts.service_json;
+  section "Binary trace codec + corpus sweep";
   let corpus_bench = corpus_codec_stage ~quick ~jobs:opts.jobs in
   (* Written as soon as it is measured, so the artefact survives a
      failure in a later stage. *)

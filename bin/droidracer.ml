@@ -11,6 +11,9 @@
    - [synth FILE]    generate an arbitrarily long admissible trace
    - [convert A B]   convert a trace between the text and binary formats
    - [gencorpus DIR] generate a corpus of app variants with planted races
+   - [serve]         run droidracerd, the persistent analysis daemon
+   - [submit FILE]   submit traces to a running daemon
+   - [loadgen]       drive a daemon with concurrent forked clients
    - [lifecycle]     print the Figure 8 activity lifecycle *)
 
 module Trace = Droidracer_trace.Trace
@@ -37,6 +40,10 @@ module Verify = Droidracer_explorer.Verify
 module Schedule_explorer = Droidracer_explorer.Schedule_explorer
 module Predict = Droidracer_predict.Predict
 module Experiments = Droidracer_report.Experiments
+module Swire = Droidracer_service.Wire
+module Server = Droidracer_service.Server
+module Client = Droidracer_service.Client
+module Loadgen = Droidracer_service.Loadgen
 module Supervisor = Droidracer_report.Supervisor
 module Proc_pool = Droidracer_report.Proc_pool
 module Journal = Droidracer_report.Journal
@@ -1464,6 +1471,437 @@ let predict_cmd =
       $ timeout $ witness_dir $ binary $ show_all $ jobs_arg
       $ telemetry_term)
 
+(* {1 The serving layer: serve / submit / loadgen} *)
+
+let endpoint_arg =
+  let doc =
+    "Daemon endpoint: a unix socket path, $(b,unix:)$(i,PATH), \
+     $(b,tcp:)$(i,HOST)$(b,:)$(i,PORT) or $(b,tcp:)$(i,PORT) \
+     (localhost)."
+  in
+  Arg.(value & opt string "droidracerd.sock"
+       & info [ "socket"; "s" ] ~docv:"ENDPOINT" ~doc)
+
+let parse_endpoint s = or_die (Swire.endpoint_of_string s)
+
+let read_file_bytes path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | bytes -> bytes
+  | exception Sys_error msg -> or_die (Error msg)
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Process-isolated analysis workers to fork at startup.")
+  in
+  let worker_jobs =
+    Arg.(value & opt int 1
+         & info [ "worker-jobs" ] ~docv:"N"
+             ~doc:"Domains each worker spreads one analysis across.")
+  in
+  let queue =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N"
+             ~doc:
+               "Admission queue capacity; past it requests are refused \
+                with an explicit $(b,overloaded) response and a \
+                retry-after hint.")
+  in
+  let timeout =
+    Arg.(value & opt float 60.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Default per-request analysis budget (0 disables); \
+                requests may set their own.  Enforced cooperatively in \
+                the worker and by SIGKILL a grace period later.")
+  in
+  let kill_grace =
+    Arg.(value & opt float 2.0
+         & info [ "kill-grace" ] ~docv:"SECONDS"
+             ~doc:
+               "Grace period past the budget before the daemon SIGKILLs \
+                a non-cooperating worker.")
+  in
+  let max_trace_mb =
+    Arg.(value & opt int 64
+         & info [ "max-trace-mb" ] ~docv:"MIB"
+             ~doc:"Largest trace frame accepted from a client.")
+  in
+  let max_conns =
+    Arg.(value & opt int 256
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent client connections before shedding.")
+  in
+  let client_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "client-timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Seconds a connection may sit mid-frame or mid-write \
+                before being shed.")
+  in
+  let spool =
+    Arg.(value & opt string "droidracerd.spool"
+         & info [ "spool" ] ~docv:"DIR"
+             ~doc:
+               "Directory accepted traces are spooled to before the \
+                accept is acknowledged.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:
+               "Durability journal (default: $(i,SPOOL)/journal.bin).  \
+                Accepted and completed requests are recorded so a \
+                crashed daemon restarted with $(b,--resume) replays \
+                finished results and re-runs in-flight work.")
+  in
+  let no_journal =
+    Arg.(value & flag
+         & info [ "no-journal" ]
+             ~doc:"Run without a journal (no crash durability).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "Replay the journal left by a previous daemon: finished \
+                requests become cached results, accepted-but-unfinished \
+                ones are re-enqueued from the spool.")
+  in
+  let degrade_low =
+    Arg.(value & opt float 0.5
+         & info [ "degrade-low" ] ~docv:"FRACTION"
+             ~doc:
+               "Queue fill fraction at which dense requests degrade to \
+                the worklist engine.")
+  in
+  let degrade_high =
+    Arg.(value & opt float 0.75
+         & info [ "degrade-high" ] ~docv:"FRACTION"
+             ~doc:
+               "Queue fill fraction at which requests degrade to the \
+                streaming engine.")
+  in
+  let progress_out =
+    Arg.(value & opt (some string) None
+         & info [ "progress-out" ] ~docv:"FILE"
+             ~doc:
+               "Append one JSON heartbeat per completed request \
+                (schema droidracer-progress/1) to $(docv).")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Log every request and dispatch.")
+  in
+  let run socket workers worker_jobs queue timeout kill_grace max_trace_mb
+      max_conns client_timeout spool journal_arg no_journal resume degrade_low
+      degrade_high progress_out verbose telemetry =
+    let endpoint = parse_endpoint socket in
+    let journal_path =
+      if no_journal then None
+      else
+        Some
+          (Option.value journal_arg
+             ~default:(Filename.concat spool "journal.bin"))
+    in
+    let config =
+      { (Server.default_config endpoint) with
+        Server.workers = max 1 workers
+      ; worker_jobs = max 1 worker_jobs
+      ; queue_capacity = max 1 queue
+      ; default_timeout = (if timeout <= 0.0 then None else Some timeout)
+      ; kill_grace = Float.max 0.1 kill_grace
+      ; max_trace_bytes = max 1 max_trace_mb * 1024 * 1024
+      ; max_conns = max 1 max_conns
+      ; client_timeout = Float.max 1.0 client_timeout
+      ; spool_dir = spool
+      ; journal_path
+      ; resume
+      ; degrade_low
+      ; degrade_high
+      ; verbose
+      ; progress_out
+      }
+    in
+    with_telemetry telemetry @@ fun () ->
+    match Server.run config with
+    | () -> ()
+    | exception Failure msg -> or_die (Error msg)
+    | exception Unix.Unix_error (e, fn, arg) ->
+      or_die
+        (Error
+           (Printf.sprintf "%s%s: %s" fn
+              (if arg = "" then "" else " " ^ arg)
+              (Unix.error_message e)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run droidracerd: a persistent analysis daemon that accepts \
+          trace submissions over a unix or TCP socket, schedules them \
+          across forked workers (each free to use a domain pool), and \
+          streams droidracer-races/1 results back.  Admission is a \
+          bounded queue with explicit overload rejections; accepted \
+          work is journalled for crash recovery; queue pressure \
+          degrades the engine down the dense-worklist-streaming \
+          ladder; SIGTERM drains gracefully.")
+    Term.(
+      const run $ endpoint_arg $ workers $ worker_jobs $ queue $ timeout
+      $ kill_grace $ max_trace_mb $ max_conns $ client_timeout $ spool
+      $ journal_arg $ no_journal $ resume $ degrade_low $ degrade_high
+      $ progress_out $ verbose $ telemetry_term)
+
+let submit_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"TRACE" ~doc:"Trace files.")
+  in
+  let engine =
+    Arg.(value & opt string "auto"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:
+               "Requested happens-before engine: $(b,auto), $(b,dense), \
+                $(b,worklist) or $(b,streaming).  Queue pressure may \
+                degrade it; the response names the engine that ran.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request analysis budget (overrides the daemon's).")
+  in
+  let sleep =
+    Arg.(value & opt float 0.0
+         & info [ "sleep" ] ~docv:"SECONDS"
+             ~doc:
+               "Ask the worker to sleep before analyzing (load and \
+                deadline testing).")
+  in
+  let no_wait =
+    Arg.(value & flag
+         & info [ "no-wait" ]
+             ~doc:
+               "Return as soon as the request is accepted instead of \
+                waiting for the result; poll later with $(b,--result).")
+  in
+  let retry_for =
+    Arg.(value & opt float 0.0
+         & info [ "retry-for" ] ~docv:"SECONDS"
+             ~doc:
+               "Keep retrying for up to $(docv): reconnect across \
+                daemon restarts and back off on $(b,overloaded) \
+                responses, resubmitting the same request id (the \
+                daemon's journal makes that idempotent).")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"ID"
+             ~doc:
+               "Request id (with several traces, a $(b,-)$(i,N) suffix \
+                is appended).  Defaults to the file's basename plus a \
+                content digest, so resubmitting the same trace \
+                deduplicates.")
+  in
+  let result_id =
+    Arg.(value & opt (some string) None
+         & info [ "result" ] ~docv:"ID"
+             ~doc:"Fetch the result of a previously submitted request.")
+  in
+  let health =
+    Arg.(value & flag
+         & info [ "health" ]
+             ~doc:"Print the daemon's health/readiness report and exit.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Alias for $(b,--health).")
+  in
+  let default_id file bytes =
+    let base =
+      String.map
+        (function
+          | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-') as c -> c
+          | _ -> '_')
+        (Filename.basename file)
+    in
+    let digest = String.sub (Digest.to_hex (Digest.string bytes)) 0 12 in
+    let base =
+      if String.length base > 100 then String.sub base 0 100 else base
+    in
+    Printf.sprintf "%s-%s" base digest
+  in
+  let run socket files engine timeout sleep no_wait retry_for id_arg result_id
+      health stats =
+    let endpoint = parse_endpoint socket in
+    if not (Swire.valid_engine engine) then
+      or_die (Error (Printf.sprintf "unknown engine %S" engine));
+    let query ?trace request =
+      match Client.once endpoint ?trace request with
+      | Error e -> or_die (Error e)
+      | Ok response ->
+        print_endline (Swire.response_json_string response);
+        Swire.response_status response
+    in
+    if health || stats then begin
+      let status = query Swire.Health in
+      if status <> "ok" && status <> "draining" then exit 1
+    end
+    else
+      match result_id with
+      | Some id ->
+        let status = query (Swire.Result id) in
+        if status <> "completed" then exit 1
+      | None ->
+        if files = [] then
+          or_die
+            (Error
+               "nothing to do: give trace files, --result ID or --health");
+        let failed = ref false in
+        List.iteri
+          (fun i file ->
+             let trace = read_file_bytes file in
+             let id =
+               match id_arg with
+               | Some id when List.length files = 1 -> id
+               | Some id -> Printf.sprintf "%s-%d" id i
+               | None -> default_id file trace
+             in
+             let status =
+               if retry_for > 0.0 then begin
+                 match
+                   Client.submit ~endpoint ~deadline_seconds:retry_for ~id
+                     ~engine ?timeout ~sleep ~trace ()
+                 with
+                 | Error e -> or_die (Error e)
+                 | Ok outcome ->
+                   print_endline
+                     (Swire.response_json_string outcome.Client.so_response);
+                   Swire.response_status outcome.Client.so_response
+               end
+               else begin
+                 let request =
+                   Swire.Analyze
+                     { a_id = id
+                     ; a_engine = engine
+                     ; a_timeout = timeout
+                     ; a_sleep = sleep
+                     ; a_trace_bytes = String.length trace
+                     ; a_wait = not no_wait
+                     }
+                 in
+                 query ~trace request
+               end
+             in
+             (match status with
+              | "completed" | "accepted" | "pending" -> ()
+              | _ -> failed := true))
+          files;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit trace files to a running droidracerd and print one \
+          droidracer-races/1 JSON response per line.  Also queries \
+          daemon health ($(b,--health)) and fetches results of earlier \
+          asynchronous submissions ($(b,--result)).  Exits non-zero if \
+          any request ends in a status other than completed, accepted \
+          or pending.")
+    Term.(
+      const run $ endpoint_arg $ files $ engine $ timeout $ sleep $ no_wait
+      $ retry_for $ id_arg $ result_id $ health $ stats)
+
+let loadgen_cmd =
+  let trace_dir =
+    Arg.(required & opt (some dir) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Directory of trace files to submit (round-robin).")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent client processes to fork.")
+  in
+  let requests =
+    Arg.(value & opt int 10
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let engine =
+    Arg.(value & opt string "auto"
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Requested engine.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request analysis budget.")
+  in
+  let sleep =
+    Arg.(value & opt float 0.0
+         & info [ "sleep" ] ~docv:"SECONDS"
+             ~doc:"Worker sleep per request (contention testing).")
+  in
+  let deadline =
+    Arg.(value & opt float 120.0
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "Per-request client deadline; a request with no terminal \
+                response by then counts as lost.")
+  in
+  let tag =
+    Arg.(value & opt string "lg"
+         & info [ "tag" ] ~docv:"TAG"
+             ~doc:
+               "Request-id prefix.  Reuse a tag across a daemon \
+                restart with $(b,--resume) to observe journal replay.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the droidracer-service-bench/1 report (p50/p99 \
+                latency, traces/sec, status counts) to $(docv).")
+  in
+  let run socket trace_dir clients requests engine timeout sleep deadline tag
+      json_out =
+    let endpoint = parse_endpoint socket in
+    if not (Swire.valid_engine engine) then
+      or_die (Error (Printf.sprintf "unknown engine %S" engine));
+    let traces =
+      Sys.readdir trace_dir |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun name ->
+        let path = Filename.concat trace_dir name in
+        if Sys.is_directory path then None
+        else Some (name, read_file_bytes path))
+      |> Array.of_list
+    in
+    if traces = [||] then
+      or_die (Error (Printf.sprintf "no trace files in %s" trace_dir));
+    let stats =
+      Loadgen.run ~endpoint ~clients:(max 1 clients)
+        ~requests:(max 1 requests) ~traces ~engine ?timeout ~sleep
+        ~deadline_seconds:deadline ~tag ()
+    in
+    print_endline (Loadgen.human_summary stats);
+    Option.iter
+      (fun path ->
+         Loadgen.write_json path stats;
+         Printf.eprintf "wrote service bench to %s\n%!" path)
+      json_out;
+    if Loadgen.lost stats > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running droidracerd with N forked client processes \
+          submitting traces concurrently, then report latency \
+          percentiles and throughput (schema \
+          droidracer-service-bench/1).  Clients ride out restarts and \
+          overload rejections by resubmitting the same request id; a \
+          request is lost only if it never gets a terminal response \
+          before its deadline.  Exits non-zero if any request is lost.")
+    Term.(
+      const run $ endpoint_arg $ trace_dir $ clients $ requests $ engine
+      $ timeout $ sleep $ deadline $ tag $ json_out)
+
 let lifecycle_cmd =
   let run () = Table.print (Experiments.lifecycle_table ()) in
   Cmd.v
@@ -1491,5 +1929,8 @@ let () =
           ; convert_cmd
           ; gencorpus_cmd
           ; predict_cmd
+          ; serve_cmd
+          ; submit_cmd
+          ; loadgen_cmd
           ; lifecycle_cmd
           ]))

@@ -227,6 +227,40 @@ let torn_lines t = t.torn
 
 let stale_records t = t.stale
 
+(* {1 Resume warnings}
+
+   Structured records of what replay silently repaired, so callers
+   (CLI, daemon health endpoint) can surface them as data rather than
+   re-deriving prose from counters. *)
+
+type warning =
+  | Torn_lines of int
+  | Stale_records of int
+
+let warnings t =
+  (if t.torn > 0 then [ Torn_lines t.torn ] else [])
+  @ if t.stale > 0 then [ Stale_records t.stale ] else []
+
+let warning_message = function
+  | Torn_lines n ->
+    Printf.sprintf
+      "%d torn journal line%s skipped on resume (interrupted final write)" n
+      (if n = 1 then "" else "s")
+  | Stale_records n ->
+    Printf.sprintf
+      "%d journal record%s discarded: written by a different executable image"
+      n
+      (if n = 1 then "" else "s")
+
+let warning_json w =
+  let kind, count =
+    match w with
+    | Torn_lines n -> ("torn_lines", n)
+    | Stale_records n -> ("stale_records", n)
+  in
+  Printf.sprintf {|{"kind":"%s","count":%d,"message":"%s"}|} kind count
+    (json_escape (warning_message w))
+
 let read_lines path =
   let ic = In_channel.open_bin path in
   Fun.protect
@@ -266,13 +300,7 @@ let replay path =
 
 let fsync_write fd line =
   let bytes = Bytes.of_string (line ^ "\n") in
-  let rec go pos len =
-    if len > 0 then begin
-      let n = Unix.write fd bytes pos len in
-      go (pos + n) (len - n)
-    end
-  in
-  go 0 (Bytes.length bytes);
+  Proc_pool.write_all fd bytes 0 (Bytes.length bytes);
   Unix.fsync fd
 
 let create ?(resume = false) path =

@@ -46,6 +46,28 @@ val stale_records : t -> int
 (** Records discarded because the journal was written by a different
     executable image. *)
 
+(** {1 Resume warnings}
+
+    What replay silently repaired, as data: a torn final line (the
+    expected scar of a SIGKILL mid-append) or a stale-binary discard.
+    Callers surface these structurally — the daemon's health response
+    carries them, the CLI prints {!warning_message} — and the same
+    counts feed the [journal.torn] / [journal.stale] counters in
+    [droidracer-metrics]. *)
+
+type warning =
+  | Torn_lines of int  (** corrupt/torn lines skipped on resume *)
+  | Stale_records of int  (** intact records from a different binary *)
+
+val warnings : t -> warning list
+(** Nonempty iff replay repaired something; empty for a fresh journal. *)
+
+val warning_message : warning -> string
+(** Human-readable one-liner. *)
+
+val warning_json : warning -> string
+(** One JSON object: [{"kind":…,"count":…,"message":…}]. *)
+
 val append : t -> app:string -> payload:string -> unit
 (** Durably append one record (single write + fsync).  Thread-safe. *)
 

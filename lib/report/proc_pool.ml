@@ -104,10 +104,10 @@ type 'b reply =
 let max_frame_bytes = 1 lsl 30
 
 let rec write_all fd buf pos len =
-  if len > 0 then begin
-    let n = Unix.write fd buf pos len in
-    write_all fd buf (pos + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
 
 let write_frame fd payload =
   let len = Bytes.length payload in
@@ -147,6 +147,14 @@ let read_frame fd =
 let oom_exit_status = 41
 let stack_exit_status = 42
 let uncaught_exit_status = 40
+
+let death_of_status ?max_mem_mib status =
+  match status with
+  | Unix.WEXITED c when c = oom_exit_status ->
+    Oom_killed (Option.value max_mem_mib ~default:0)
+  | Unix.WEXITED c when c = stack_exit_status -> Stack_overflowed
+  | Unix.WEXITED c -> Exited c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Signaled s
 
 let in_worker_flag = ref false
 
@@ -388,13 +396,9 @@ let map ?(jobs = 1) ?(limits = no_limits) ?(retry = default_retry)
         match forced with
         | Some death -> death
         | None ->
-          (match status with
-           | Unix.WEXITED c when c = oom_exit_status ->
-             Obs.add "proc.oom";
-             Oom_killed (Option.value limits.max_mem_mib ~default:0)
-           | Unix.WEXITED c when c = stack_exit_status -> Stack_overflowed
-           | Unix.WEXITED c -> Exited c
-           | Unix.WSIGNALED s | Unix.WSTOPPED s -> Signaled s)
+          let death = death_of_status ?max_mem_mib:limits.max_mem_mib status in
+          (match death with Oom_killed _ -> Obs.add "proc.oom" | _ -> ());
+          death
       in
       let busy =
         match w.w_state with

@@ -101,6 +101,53 @@ val signal_name : int -> string
 
 val death_message : death -> string
 
+val death_of_status : ?max_mem_mib:int -> Unix.process_status -> death
+(** Classify a [waitpid] status using the pool's reserved exit statuses
+    ({!oom_exit_status} → [Oom_killed max_mem_mib], {!stack_exit_status}
+    → [Stack_overflowed]).  Shared with the serving layer, whose
+    persistent workers die under the same contract. *)
+
+(** {1 Reserved worker exit statuses}
+
+    [Out_of_memory] and [Stack_overflow] cannot be reported over a pipe
+    reliably (the marshaller itself needs memory), so they become
+    dedicated exit statuses; {!death_of_status} translates them back. *)
+
+val oom_exit_status : int  (** 41 — allocation past the rlimit cap *)
+
+val stack_exit_status : int  (** 42 — native stack exhausted *)
+
+val uncaught_exit_status : int  (** 40 — uncaught exception in a worker *)
+
+(** {1 Wire framing}
+
+    One length-prefixed frame per message: an 8-byte big-endian length
+    header followed by the payload.  Reads and writes retry [EINTR] and
+    resume across partial transfers, so a signal landing mid-frame (the
+    daemon's whole life) never tears a message.  These primitives are
+    shared with {!module:Droidracer_service}, which speaks the same
+    framing over its client sockets and worker pipes. *)
+
+val max_frame_bytes : int
+(** Upper bound (1 GiB) on a frame's payload length; a header past it is
+    treated as a protocol error ({!read_frame} returns [None]). *)
+
+val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [write_all fd buf pos len] writes exactly [len] bytes, retrying
+    partial writes and [EINTR].  Raises [Unix_error] on a dead peer
+    ([EPIPE] arrives as the error, not the signal, wherever SIGPIPE is
+    ignored). *)
+
+val write_frame : Unix.file_descr -> Bytes.t -> unit
+(** Length header + payload via {!write_all}. *)
+
+val read_exact : Unix.file_descr -> int -> Bytes.t option
+(** [read_exact fd len] reads exactly [len] bytes, retrying [EINTR];
+    [None] on EOF or error (a short read means the peer died). *)
+
+val read_frame : Unix.file_descr -> Bytes.t option
+(** One whole frame, or [None] on EOF, error, or an implausible length. *)
+
 type 'b attempt_result =
   | Value of 'b  (** the worker returned normally *)
   | Died of death  (** every attempt ended in a worker death *)

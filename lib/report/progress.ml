@@ -107,11 +107,17 @@ let rates t =
   let elapsed = Float.max 1e-9 (Unix.gettimeofday () -. t.p_started) in
   let events_per_sec = float_of_int t.p_events /. elapsed in
   let eta_seconds =
-    if t.p_done = 0 then 0.0
+    (* An open-ended stream (total <= 0, e.g. the daemon's request log)
+       has no ETA. *)
+    if t.p_done = 0 || t.p_total <= 0 then 0.0
     else
       float_of_int (t.p_total - t.p_done) *. elapsed /. float_of_int t.p_done
   in
   (elapsed, events_per_sec, eta_seconds)
+
+let count_label t =
+  if t.p_total <= 0 then Printf.sprintf "%d" t.p_done
+  else Printf.sprintf "%d/%d" t.p_done t.p_total
 
 let app_done t ~app ~outcome ~engine ~events ~elapsed_seconds
     ?(resumed = false) () =
@@ -130,11 +136,12 @@ let app_done t ~app ~outcome ~engine ~events ~elapsed_seconds
        elapsed_seconds resumed t.p_done t.p_total events_per_sec eta_seconds
        (fallbacks_json ()));
   emit_heartbeat t
-    (Printf.sprintf
-       "[%d/%d] %s: %s (%s, %d events, %.2fs)%s | %.0f ev/s | ETA %.0fs"
-       t.p_done t.p_total app outcome engine events elapsed_seconds
+    (Printf.sprintf "[%s] %s: %s (%s, %d events, %.2fs)%s | %.0f ev/s"
+       (count_label t) app outcome engine events elapsed_seconds
        (if resumed then " [resumed]" else "")
-       events_per_sec eta_seconds
+       events_per_sec
+     ^ (if t.p_total > 0 then Printf.sprintf " | ETA %.0fs" eta_seconds
+        else "")
      ^ fallbacks_human ())
 
 let finish t =
@@ -150,7 +157,7 @@ let finish t =
          events_per_sec (fallbacks_json ()));
     emit_heartbeat t
       (Printf.sprintf
-         "sweep done: %d/%d apps (%d completed, %d failed) in %.1fs%s"
-         t.p_done t.p_total t.p_completed t.p_failed elapsed
+         "sweep done: %s apps (%d completed, %d failed) in %.1fs%s"
+         (count_label t) t.p_completed t.p_failed elapsed
          (fallbacks_human ()))
   end

@@ -33,7 +33,9 @@ val create :
   t
 (** Start tracking a sweep of [total] apps; writes the JSONL header
     record immediately.  [out] stays open — the caller closes it after
-    {!finish}. *)
+    {!finish}.  A [total <= 0] marks an open-ended stream (the daemon's
+    request log has no known end): records still carry the raw total,
+    but heartbeats drop the [/total] and the ETA. *)
 
 val app_done :
   t ->

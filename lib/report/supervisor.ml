@@ -629,7 +629,7 @@ let file_key path = Filename.remove_extension (Filename.basename path)
    loader sniffs the magic), validate, analyze.  The same injected
    faults apply, keyed by the sweep name, so the degradation paths of a
    file sweep are exactly as testable as a catalog sweep's. *)
-let attempt_file ~engine ~config ~budget ~attempt path =
+let attempt_file ?(jobs = 1) ~engine ~config ~budget ~attempt path =
   let name = file_key path in
   Obs.with_span "supervisor.file"
     ~args:[ ("file", name); ("attempt", string_of_int attempt) ]
@@ -674,7 +674,8 @@ let attempt_file ~engine ~config ~budget ~attempt path =
   if injected Crash_fault ~attempt name then
     failwith "injected task exception";
   let report =
-    Obs.with_span "supervisor.analyze" (fun () -> Detector.analyze ~config trace)
+    Obs.with_span "supervisor.analyze" (fun () ->
+      Detector.analyze ~config ~jobs trace)
   in
   checkpoint ~deadline;
   let locations =
@@ -694,10 +695,10 @@ let attempt_file ~engine ~config ~budget ~attempt path =
   ; fr_locations = locations
   }
 
-let attempt_file_result ~config ~budget ~attempt path =
+let attempt_file_result ?jobs ~config ~budget ~attempt path =
   let engine = ref (configured_engine config) in
   let err reason = Error { ae_reason = reason; ae_engine = !engine } in
-  match attempt_file ~engine ~config ~budget ~attempt path with
+  match attempt_file ?jobs ~engine ~config ~budget ~attempt path with
   | report -> Ok report
   | exception Rejected_exn msg ->
     Obs.add "ingest.rejected";
@@ -708,12 +709,12 @@ let attempt_file_result ~config ~budget ~attempt path =
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
   | exception exn -> err (Crashed (Printexc.to_string exn))
 
-let run_file ?(config = Detector.default_config) ?(budget = no_budget)
+let run_file ?jobs ?(config = Detector.default_config) ?(budget = no_budget)
     ?(retry = Proc_pool.default_retry) path =
   let name = file_key path in
   let started = Unix.gettimeofday () in
   let once attempt =
-    match attempt_file_result ~config ~budget ~attempt path with
+    match attempt_file_result ?jobs ~config ~budget ~attempt path with
     | r -> r
     | exception Out_of_memory ->
       Error

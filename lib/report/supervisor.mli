@@ -254,13 +254,17 @@ type file_outcome =
   | File_failed of failure  (** [f_app] is the sweep key *)
 
 val run_file :
+  ?jobs:int ->
   ?config:Detector.config ->
   ?budget:budget ->
   ?retry:Proc_pool.retry_policy ->
   string ->
   file_outcome
 (** One trace file through the supervised load → validate → analyze
-    pipeline, retried like {!run_app}. *)
+    pipeline, retried like {!run_app}.  [jobs] (default 1) is the
+    domain-pool width handed to {!Detector.analyze} — the serving
+    layer's workers use it to spread one analysis over several domains
+    inside an isolated process. *)
 
 val run_files :
   ?jobs:int ->

@@ -1,0 +1,125 @@
+open! Import
+
+(* The blocking client side of the wire protocol: one socket, one
+   frame out (+ optional trace frame), one frame back.  The resilient
+   submit loop on top is what the CLI and the load generator share: it
+   survives daemon restarts by reconnecting and resubmitting the same
+   request id — the daemon's journal and result cache make that
+   idempotent. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect endpoint =
+  (* A daemon restart between our write and read must surface as an
+     error value, not SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let domain =
+    match endpoint with
+    | Wire.Unix_socket _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Wire.sockaddr_of_endpoint endpoint) with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let set_read_timeout t seconds =
+  try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (Float.max 0.01 seconds)
+  with Unix.Unix_error _ -> ()
+
+let roundtrip t ?(trace = "") request =
+  match
+    Proc_pool.write_frame t.fd (Bytes.of_string (Wire.request_json request));
+    (match request with
+     | Wire.Analyze a when a.a_trace_bytes > 0 ->
+       Proc_pool.write_frame t.fd (Bytes.unsafe_of_string trace)
+     | _ -> ());
+    Proc_pool.read_frame t.fd
+  with
+  | None -> Error "connection closed by daemon"
+  | Some frame -> Wire.parse_response (Bytes.to_string frame)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let once endpoint ?trace request =
+  match connect endpoint with
+  | Error e -> Error e
+  | Ok t ->
+    Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t ?trace request)
+
+(* {1 Resilient submission} *)
+
+type submit_outcome =
+  { so_response : Json_parse.t
+  ; so_latency : float  (* first attempt to final response, wall *)
+  ; so_reconnects : int
+  ; so_overloaded : int  (* overloaded/draining rejections absorbed *)
+  }
+
+let submit ~endpoint ~deadline_seconds ~id ~engine ?timeout ?(sleep = 0.0)
+    ~trace () =
+  let started = Unix.gettimeofday () in
+  let deadline = started +. deadline_seconds in
+  let request =
+    Wire.Analyze
+      { a_id = id
+      ; a_engine = engine
+      ; a_timeout = timeout
+      ; a_sleep = sleep
+      ; a_trace_bytes = String.length trace
+      ; a_wait = true
+      }
+  in
+  let finish conn result reconnects overloaded =
+    (match conn with Some t -> close t | None -> ());
+    match result with
+    | Ok response ->
+      Ok
+        { so_response = response
+        ; so_latency = Unix.gettimeofday () -. started
+        ; so_reconnects = reconnects
+        ; so_overloaded = overloaded
+        }
+    | Error e -> Error e
+  in
+  let backoff failures = Float.min 1.0 (0.05 *. (2.0 ** float_of_int failures)) in
+  let rec go conn failures reconnects overloaded =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then
+      finish conn
+        (Error
+           (Printf.sprintf "request %s: gave up after %.1fs" id deadline_seconds))
+        reconnects overloaded
+    else
+      match conn with
+      | None ->
+        (match connect endpoint with
+         | Ok t -> go (Some t) failures reconnects overloaded
+         | Error _ ->
+           Unix.sleepf (Float.min remaining (backoff failures));
+           go None (failures + 1) reconnects overloaded)
+      | Some t ->
+        set_read_timeout t remaining;
+        (match roundtrip t ~trace request with
+         | Error _ ->
+           (* Daemon gone mid-request (crash, restart, shed): reconnect
+              and resubmit the same id — at most once per backoff step. *)
+           close t;
+           Unix.sleepf (Float.min remaining (backoff failures));
+           go None (failures + 1) (reconnects + 1) overloaded
+         | Ok response ->
+           (match Wire.response_status response with
+            | "overloaded" | "draining" ->
+              let hint =
+                Option.value
+                  (Wire.response_num "retry_after_seconds" response)
+                  ~default:0.2
+              in
+              Unix.sleepf (Float.min remaining (Float.max 0.02 hint));
+              go (Some t) failures reconnects (overloaded + 1)
+            | _ -> finish (Some t) (Ok response) reconnects overloaded))
+  in
+  go None 0 0 0

@@ -1,0 +1,11 @@
+(* Aliases for the modules of the lower libraries; opened by every file
+   of this library. *)
+module Trace = Droidracer_trace.Trace
+module Trace_io = Droidracer_trace.Trace_io
+module Happens_before = Droidracer_core.Happens_before
+module Detector = Droidracer_core.Detector
+module Supervisor = Droidracer_report.Supervisor
+module Proc_pool = Droidracer_report.Proc_pool
+module Journal = Droidracer_report.Journal
+module Progress = Droidracer_report.Progress
+module Obs = Droidracer_obs.Obs

@@ -61,6 +61,8 @@ let test_roundtrip () =
   Journal.close j;
   check_int "no torn lines" 0 (Journal.torn_lines j);
   check_int "no stale records" 0 (Journal.stale_records j);
+  check_bool "a clean journal carries no warnings" true
+    (Journal.warnings j = []);
   check_bool "entries survive byte for byte" true
     (Journal.prior j = sample_entries)
 
@@ -77,6 +79,24 @@ let test_torn_final_line () =
   let j = or_fail (Journal.create ~resume:true path) in
   check_int "one torn line skipped" 1 (Journal.torn_lines j);
   check_int "journal.torn" 1 (counter "journal.torn");
+  (* the tear surfaces as a structured warning the daemon's health
+     report can carry verbatim *)
+  (match Journal.warnings j with
+   | [ Journal.Torn_lines 1 ] -> ()
+   | ws -> Alcotest.failf "expected one torn-lines warning, got %d" (List.length ws));
+  check_bool "warning message names the tear" true
+    (Astring_contains.contains
+       (Journal.warning_message (Journal.Torn_lines 1))
+       "torn");
+  (match Json_parse.parse (Journal.warning_json (Journal.Torn_lines 1)) with
+   | Ok json ->
+     check_bool "warning JSON kind" true
+       (Option.bind (Json_parse.member "kind" json) Json_parse.to_string
+        = Some "torn_lines");
+     check_bool "warning JSON count" true
+       (Option.bind (Json_parse.member "count" json) Json_parse.to_number
+        = Some 1.0)
+   | Error msg -> Alcotest.failf "warning JSON does not parse: %s" msg);
   check_bool "intact prefix survives" true
     (Journal.prior j = [ List.nth sample_entries 0; List.nth sample_entries 1 ]);
   (* The rewrite repaired the file: appending and resuming again is
